@@ -1,0 +1,19 @@
+"""Ablation A1: the GPU page cache on vs off, plus the naive-model check."""
+
+from repro.bench.experiments import (
+    ablation_cache_policies,
+    ablation_caching,
+    naive_hit_rate_check,
+)
+
+
+def test_ablation_caching(report):
+    report(ablation_caching, "ablation_cache")
+
+
+def test_ablation_cache_policies(report):
+    report(ablation_cache_policies, "ablation_cache_policies")
+
+
+def test_naive_hit_rate_check(report):
+    report(naive_hit_rate_check, "ablation_cache_model")

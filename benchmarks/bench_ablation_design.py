@@ -1,0 +1,19 @@
+"""Ablations A2/A3: GPU-count scaling and main-memory buffer sizing."""
+
+from repro.bench.experiments import (
+    ablation_buffering,
+    ablation_gpu_scaling,
+    ablation_ssd_scaling,
+)
+
+
+def test_ablation_gpu_scaling(report):
+    report(ablation_gpu_scaling, "ablation_gpu_scaling")
+
+
+def test_ablation_ssd_scaling(report):
+    report(ablation_ssd_scaling, "ablation_ssd_scaling")
+
+
+def test_ablation_buffering(report):
+    report(ablation_buffering, "ablation_buffering")

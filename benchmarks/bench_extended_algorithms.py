@@ -1,0 +1,7 @@
+"""Extension: the remaining Section 3.3 algorithms through GTS."""
+
+from repro.bench.experiments import extended_algorithms
+
+
+def test_extended_algorithms(report):
+    report(extended_algorithms, "extended_algorithms")

@@ -1,0 +1,11 @@
+"""Figure 10: elapsed time versus the number of GPU streams."""
+
+from repro.bench.experiments import figure10_streams
+
+
+def test_figure10_bfs(report):
+    report(figure10_streams, "fig10_streams_bfs", "BFS")
+
+
+def test_figure10_pagerank(report):
+    report(figure10_streams, "fig10_streams_pagerank", "PageRank")

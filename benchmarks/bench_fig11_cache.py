@@ -1,0 +1,7 @@
+"""Figure 11: BFS elapsed time and cache hit rate versus cache size."""
+
+from repro.bench.experiments import figure11_cache
+
+
+def test_figure11_cache(report):
+    report(figure11_cache, "fig11_cache")

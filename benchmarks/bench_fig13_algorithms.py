@@ -1,0 +1,15 @@
+"""Figure 13 (Appendix D): SSSP, CC and BC comparisons."""
+
+from repro.bench.experiments import figure13_algorithms
+
+
+def test_figure13_sssp(report):
+    report(figure13_algorithms, "fig13_sssp", "SSSP")
+
+
+def test_figure13_cc(report):
+    report(figure13_algorithms, "fig13_cc", "CC")
+
+
+def test_figure13_bc(report):
+    report(figure13_algorithms, "fig13_bc", "BC")

@@ -1,0 +1,11 @@
+"""Figure 14 (Appendix E): micro-level techniques versus graph density."""
+
+from repro.bench.experiments import figure14_micro
+
+
+def test_figure14_bfs(report):
+    report(figure14_micro, "fig14_micro_bfs", "BFS")
+
+
+def test_figure14_pagerank(report):
+    report(figure14_micro, "fig14_micro_pagerank", "PageRank")

@@ -1,0 +1,7 @@
+"""Figure 4: actual timelines of copy operations (BFS vs PageRank)."""
+
+from repro.bench.experiments import figure4_timelines
+
+
+def test_figure4_timelines(report):
+    report(figure4_timelines, "fig4_timelines")

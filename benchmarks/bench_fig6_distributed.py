@@ -1,0 +1,11 @@
+"""Figure 6: GTS vs GraphX / Giraph / PowerGraph / Naiad (BFS, PageRank)."""
+
+from repro.bench.experiments import figure6_distributed
+
+
+def test_figure6_bfs(report):
+    report(figure6_distributed, "fig6_distributed_bfs", "BFS")
+
+
+def test_figure6_pagerank(report):
+    report(figure6_distributed, "fig6_distributed_pagerank", "PageRank")

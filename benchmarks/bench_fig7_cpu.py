@@ -1,0 +1,11 @@
+"""Figure 7: GTS vs MTGL / Galois / Ligra / Ligra+ (BFS, PageRank)."""
+
+from repro.bench.experiments import figure7_cpu
+
+
+def test_figure7_bfs(report):
+    report(figure7_cpu, "fig7_cpu_bfs", "BFS")
+
+
+def test_figure7_pagerank(report):
+    report(figure7_cpu, "fig7_cpu_pagerank", "PageRank")

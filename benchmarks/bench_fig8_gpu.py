@@ -1,0 +1,11 @@
+"""Figure 8: GTS vs MapGraph / CuSha / TOTEM (BFS, PageRank)."""
+
+from repro.bench.experiments import figure8_gpu
+
+
+def test_figure8_bfs(report):
+    report(figure8_gpu, "fig8_gpu_bfs", "BFS")
+
+
+def test_figure8_pagerank(report):
+    report(figure8_gpu, "fig8_gpu_pagerank", "PageRank")

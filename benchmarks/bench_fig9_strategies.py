@@ -1,0 +1,11 @@
+"""Figure 9: Strategy-P vs Strategy-S across storage types (RMAT30)."""
+
+from repro.bench.experiments import figure9_strategies
+
+
+def test_figure9_bfs(report):
+    report(figure9_strategies, "fig9_strategies_bfs", "BFS")
+
+
+def test_figure9_pagerank(report):
+    report(figure9_strategies, "fig9_strategies_pagerank", "PageRank")

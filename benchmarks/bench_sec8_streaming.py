@@ -1,0 +1,11 @@
+"""Section 8: GTS vs X-Stream / GraphChi out-of-core streaming."""
+
+from repro.bench.experiments import section8_streaming
+
+
+def test_section8_bfs(report):
+    report(section8_streaming, "sec8_streaming_bfs", "BFS")
+
+
+def test_section8_pagerank(report):
+    report(section8_streaming, "sec8_streaming_pagerank", "PageRank")

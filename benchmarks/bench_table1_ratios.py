@@ -1,0 +1,7 @@
+"""Table 1: transfer-time to kernel-time ratios for BFS and PageRank."""
+
+from repro.bench.experiments import table1_transfer_kernel_ratios
+
+
+def test_table1_transfer_kernel_ratios(report):
+    report(table1_transfer_kernel_ratios, "table1_ratios")

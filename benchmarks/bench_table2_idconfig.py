@@ -1,0 +1,7 @@
+"""Table 2: the three 6-byte physical-ID configurations."""
+
+from repro.bench.experiments import table2_id_configurations
+
+
+def test_table2_id_configurations(report):
+    report(table2_id_configurations, "table2_idconfig")

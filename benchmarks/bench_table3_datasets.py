@@ -1,0 +1,7 @@
+"""Table 3: dataset statistics with slotted-page counts (#SP / #LP)."""
+
+from repro.bench.experiments import table3_dataset_statistics
+
+
+def test_table3_dataset_statistics(report):
+    report(table3_dataset_statistics, "table3_datasets")

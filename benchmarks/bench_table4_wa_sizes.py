@@ -1,0 +1,7 @@
+"""Table 4: WA attribute-vector sizes versus topology size."""
+
+from repro.bench.experiments import table4_wa_sizes
+
+
+def test_table4_wa_sizes(report):
+    report(table4_wa_sizes, "table4_wa_sizes")

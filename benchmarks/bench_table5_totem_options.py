@@ -1,0 +1,7 @@
+"""Table 5 (Appendix C): TOTEM's GPU:CPU partition ratios."""
+
+from repro.bench.experiments import table5_totem_partitions
+
+
+def test_table5_totem_partitions(report):
+    report(table5_totem_partitions, "table5_totem_options")

@@ -1,0 +1,32 @@
+"""Shared plumbing for the per-table/per-figure benchmark suite.
+
+Each ``bench_*`` module regenerates one artifact of the paper's
+evaluation section.  pytest-benchmark times the full experiment (one
+round — these are end-to-end experiment harnesses, not microbenchmarks),
+and the rendered table is printed and saved under ``results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "results")
+
+
+@pytest.fixture
+def report(benchmark):
+    """Run an experiment function once under pytest-benchmark and save
+    every table it returns."""
+
+    def _run(experiment_fn, filename, *args, **kwargs):
+        outcome = benchmark.pedantic(
+            experiment_fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        tables = outcome if isinstance(outcome, tuple) else (outcome,)
+        for index, table in enumerate(tables):
+            suffix = "" if len(tables) == 1 else "_%d" % index
+            table.show()
+            table.save(RESULTS_DIR, "%s%s.txt" % (filename, suffix))
+        return tables
+
+    return _run

@@ -1,0 +1,63 @@
+"""Cost-based autotuning: pick a configuration, then check it empirically.
+
+Run with::
+
+    python examples/autotune.py
+
+Section 5 presents GTS's cost models "to further improve the performance
+later through the cost-based optimization".  This example exercises that
+workflow: the optimizer ranks every (strategy, stream-count)
+configuration analytically — including ruling out Strategy-P when WA
+exceeds a single GPU's memory — and the discrete-event engine then
+measures the recommended configuration against the alternatives.
+"""
+
+from repro import GTSEngine, PageRankKernel, scaled_workstation
+from repro.bench.datasets import dataset_database
+from repro.core.optimizer import recommend_configuration
+from repro.units import format_seconds
+
+ITERATIONS = 10
+
+
+def measure(db, machine, strategy, streams):
+    engine = GTSEngine(db, machine, strategy=strategy, num_streams=streams)
+    return engine.run(PageRankKernel(iterations=ITERATIONS)).elapsed_seconds
+
+
+def main():
+    machine = scaled_workstation(num_gpus=2)
+
+    # --- A graph whose WA fits one GPU: Strategy-P should win ---------
+    db = dataset_database("rmat29")
+    print("== rmat29 (WA fits a single GPU) ==")
+    recommendation = recommend_configuration(
+        db, machine, PageRankKernel(), rounds=ITERATIONS)
+    print(recommendation.describe())
+    best = recommendation.best
+    measured_best = measure(db, machine, best.strategy, best.num_streams)
+    measured_naive = measure(db, machine, "scalability", 1)
+    print("measured with recommendation : %s"
+          % format_seconds(measured_best))
+    print("measured with naive config   : %s  (%.1fx slower)"
+          % (format_seconds(measured_naive),
+             measured_naive / measured_best))
+
+    # --- RMAT32: PageRank WA exceeds one GPU, Strategy-P infeasible ---
+    db32 = dataset_database("rmat32")
+    print("\n== rmat32 (WA needs Strategy-S, as in the paper) ==")
+    recommendation = recommend_configuration(
+        db32, machine, PageRankKernel(), rounds=ITERATIONS)
+    infeasible = sum(1 for c in recommendation.candidates
+                     if not c.feasible and c.strategy == "performance")
+    print("optimizer ruled out %d of 6 Strategy-P configurations "
+          "(WA of %d bytes > %d bytes device memory)"
+          % (infeasible, PageRankKernel().wa_bytes(db32.num_vertices),
+             machine.gpus[0].device_memory))
+    print("recommendation: Strategy-%s with %d streams"
+          % (recommendation.best.strategy[0].upper(),
+             recommendation.best.num_streams))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scaling study: streams, GPUs, strategies and the analytic cost model.
+
+Run with::
+
+    python examples/scaling_study.py
+
+A miniature of Section 4/5/7.5: sweep the engine's concurrency knobs on
+one graph and compare the discrete-event engine against the paper's
+Equation 1 estimate.
+"""
+
+from repro import (
+    GTSEngine,
+    PageFormatConfig,
+    PageRankKernel,
+    build_database,
+    generate_rmat,
+    scaled_workstation,
+)
+from repro.core.cost_model import inputs_from_run, pagerank_like_cost
+from repro.units import KB, format_seconds
+
+ITERATIONS = 5
+
+
+def main():
+    graph = generate_rmat(15, edge_factor=16, seed=30)
+    db = build_database(graph, PageFormatConfig(2, 2, 2 * KB),
+                        name="rmat15")
+    print("graph: %s -> %d pages" % (graph, db.num_pages))
+
+    # --- Streams sweep (Figure 10's mechanism) -----------------------
+    print("\nStreams sweep (PageRank x%d, 2 GPUs, Strategy-P):"
+          % ITERATIONS)
+    machine = scaled_workstation(num_gpus=2)
+    for streams in (1, 2, 4, 8, 16, 32):
+        result = GTSEngine(db, machine, num_streams=streams).run(
+            PageRankKernel(iterations=ITERATIONS))
+        print("  %2d streams: %10s" % (
+            streams, format_seconds(result.elapsed_seconds)))
+
+    # --- GPU scaling under both strategies (Section 4) ---------------
+    print("\nGPU scaling (PageRank x%d, 16 streams):" % ITERATIONS)
+    for strategy in ("performance", "scalability"):
+        times = []
+        for gpus in (1, 2, 4):
+            result = GTSEngine(db, scaled_workstation(num_gpus=gpus),
+                               strategy=strategy).run(
+                PageRankKernel(iterations=ITERATIONS))
+            times.append(result.elapsed_seconds)
+        speedups = ", ".join(
+            "%dx GPU -> %.2fx" % (n, times[0] / t)
+            for n, t in zip((1, 2, 4), times))
+        print("  Strategy-%s: %s" % (strategy[0].upper(), speedups))
+    print("  (Strategy-P buys speed; Strategy-S buys WA capacity.)")
+
+    # --- Cost model vs discrete-event engine (Section 5) -------------
+    print("\nEquation 1 vs the discrete-event engine (cache off):")
+    machine = scaled_workstation(num_gpus=2)
+    result = GTSEngine(db, machine, num_streams=32,
+                       enable_caching=False).run(
+        PageRankKernel(iterations=ITERATIONS))
+    inputs = inputs_from_run(db, machine, PageRankKernel())
+    estimate = pagerank_like_cost(inputs, iterations=ITERATIONS)
+    print("  analytic estimate : %s" % format_seconds(estimate))
+    print("  simulated engine  : %s"
+          % format_seconds(result.elapsed_seconds))
+    print("  ratio             : %.2fx"
+          % (result.elapsed_seconds / estimate))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Social-network analytics on a Twitter-like graph.
+
+Run with::
+
+    python examples/social_network_analysis.py
+
+The paper's introduction motivates GTS with social-network workloads.
+This example runs three of them on the Twitter stand-in graph:
+
+* **influence ranking** — PageRank over the follower graph;
+* **friend recommendation** — Random Walk with Restart from one user,
+  surfacing the most-proximate non-neighbours;
+* **broker detection** — sampled betweenness centrality, finding users
+  that sit on many shortest paths;
+* **community core** — the k-core of the (undirected) follow graph, the
+  classic dense-engagement filter;
+* **ego network** — one user's neighbourhood and the edges inside it.
+"""
+
+import numpy as np
+
+from repro import (
+    BCKernel,
+    EgonetKernel,
+    GTSEngine,
+    KCoreKernel,
+    PageFormatConfig,
+    PageRankKernel,
+    RWRKernel,
+    build_database,
+    generate_twitter_like,
+    scaled_workstation,
+)
+from repro.units import KB
+
+
+def main():
+    graph = generate_twitter_like(num_vertices=8192, seed=10)
+    print("Twitter-like graph:", graph)
+    db = build_database(
+        graph, PageFormatConfig(2, 2, 2 * KB), name="twitter-like")
+    engine = GTSEngine(db, scaled_workstation(), num_streams=16)
+
+    # --- Influence ranking -------------------------------------------
+    result = engine.run(PageRankKernel(iterations=10))
+    ranks = result.values["rank"]
+    influencers = np.argsort(ranks)[-5:][::-1]
+    print("\nInfluence ranking (PageRank x10): %s simulated"
+          % round(result.elapsed_seconds, 6))
+    for v in influencers:
+        print("  user %5d  rank %.5f  followers(in-deg) %d"
+              % (v, ranks[v], graph.in_degrees()[v]))
+
+    # --- Friend recommendation ---------------------------------------
+    user = int(influencers[0])
+    result = engine.run(RWRKernel(query_vertex=user, iterations=12))
+    proximity = result.values["proximity"].copy()
+    proximity[user] = 0.0
+    proximity[graph.neighbors(user)] = 0.0  # already followed
+    suggestions = np.argsort(proximity)[-5:][::-1]
+    print("\nRecommendations for user %d (RWR):" % user)
+    for v in suggestions:
+        print("  suggest user %5d  proximity %.6f" % (v, proximity[v]))
+
+    # --- Broker detection --------------------------------------------
+    degrees = graph.out_degrees()
+    sources = tuple(int(v) for v in np.argsort(degrees)[-3:])
+    result = engine.run(BCKernel(sources=sources))
+    centrality = result.values["centrality"]
+    brokers = np.argsort(centrality)[-5:][::-1]
+    print("\nBrokers (betweenness from %d sampled sources):"
+          % len(sources))
+    for v in brokers:
+        print("  user %5d  centrality %.1f" % (v, centrality[v]))
+    print("BC run: %d engine rounds (forward + backward sweeps per "
+          "source), %d pages streamed"
+          % (result.num_rounds, result.pages_streamed))
+
+    # --- Community core ----------------------------------------------
+    sym_db = build_database(
+        graph.symmetrised(), PageFormatConfig(2, 2, 2 * KB),
+        name="twitter-like-sym")
+    sym_engine = GTSEngine(sym_db, scaled_workstation(), num_streams=16)
+    for k in (8, 32, 128):
+        result = sym_engine.run(KCoreKernel(k=k))
+        core = result.values["in_kcore"]
+        print("\n%d-core: %d users (%.1f%% of the graph), %d peel rounds"
+              % (k, core.sum(), 100 * core.mean(), result.num_rounds))
+
+    # --- Ego network --------------------------------------------------
+    result = engine.run(EgonetKernel(ego_vertex=user))
+    member = result.values["member"]
+    internal = int(result.values["num_induced_edges"][0])
+    possible = member.sum() * (member.sum() - 1)
+    print("\nEgonet of user %d: %d members, %d internal edges "
+          "(density %.4f)"
+          % (user, member.sum(), internal,
+             internal / possible if possible else 0.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Traversal workloads on a high-diameter web graph, beyond main memory.
+
+Run with::
+
+    python examples/web_graph_traversal.py
+
+This reproduces the regime the paper cares most about: a graph whose
+topology does *not* fit the machine's (scaled) main memory, so pages
+stream from the simulated SSDs; BFS-like algorithms touch only the
+frontier's pages per level and the device-memory page cache earns its
+keep across levels.
+"""
+
+import numpy as np
+
+from repro import (
+    BFSKernel,
+    GTSEngine,
+    PageFormatConfig,
+    SSSPKernel,
+    WCCKernel,
+    build_database,
+    generate_yahooweb_like,
+    scaled_workstation,
+)
+from repro.units import KB, format_bytes
+
+
+def main():
+    graph = generate_yahooweb_like(num_vertices=131072, seed=12)
+    print("YahooWeb-like graph:", graph)
+
+    config = PageFormatConfig(2, 2, 2 * KB)
+    db = build_database(graph, config, name="yahooweb-like")
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    # Apply the paper's out-of-core buffer policy (20% of the graph in
+    # main memory, the rest on SSD) so pages genuinely stream from
+    # storage — the regime the paper's RMAT31/32 runs exercise.
+    buffer_bytes = int(0.2 * db.topology_bytes())
+    print("topology %s, main-memory page buffer capped at %s -> pages "
+          "stream from the simulated SSDs"
+          % (format_bytes(db.topology_bytes()), format_bytes(buffer_bytes)))
+
+    start = int(np.argmax(graph.out_degrees()))
+
+    # --- Reachability ------------------------------------------------
+    engine = GTSEngine(db, machine, num_streams=16,
+                       mm_buffer_bytes=buffer_bytes)
+    bfs = engine.run(BFSKernel(start_vertex=start))
+    levels = bfs.values["level"]
+    print("\nBFS: %s" % bfs.summary())
+    print("  depth %d over %d levels; %d pages from storage, "
+          "%d from buffer, %d from GPU cache (hit rate %.1f%%)"
+          % (levels.max(), bfs.num_rounds,
+             sum(r.pages_from_storage for r in bfs.rounds),
+             sum(r.pages_from_buffer for r in bfs.rounds),
+             bfs.cache_hits, 100 * bfs.cache_hit_rate))
+
+    # --- Shortest paths over crawl-cost weights ----------------------
+    weighted = graph.with_random_weights(low=1.0, high=4.0, seed=3)
+    weighted_db = build_database(
+        weighted, PageFormatConfig(2, 2, 2 * KB, weight_bytes=4),
+        name="yahooweb-like-weighted")
+    sssp = GTSEngine(weighted_db, machine).run(
+        SSSPKernel(start_vertex=start))
+    dist = sssp.values["distance"]
+    finite = np.isfinite(dist)
+    print("\nSSSP: %s" % sssp.summary())
+    print("  reached %d vertices, max distance %.1f"
+          % (finite.sum(), dist[finite].max()))
+
+    # --- Connected components (undirected view) ----------------------
+    sym_db = build_database(graph.symmetrised(), config,
+                            name="yahooweb-like-sym")
+    wcc = GTSEngine(sym_db, machine).run(WCCKernel())
+    labels = wcc.values["component"]
+    unique, counts = np.unique(labels, return_counts=True)
+    print("\nCC: %s" % wcc.summary())
+    print("  %d weakly-connected components; giant component covers "
+          "%.1f%% of vertices"
+          % (len(unique), 100 * counts.max() / graph.num_vertices))
+
+
+if __name__ == "__main__":
+    main()

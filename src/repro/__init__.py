@@ -1,0 +1,123 @@
+"""GTS reproduction: streaming graph topology to (simulated) GPUs.
+
+A full reimplementation of *GTS: A Fast and Scalable Graph Processing
+Method based on Streaming Topology to GPUs* (Kim et al., SIGMOD 2016) in
+Python: the slotted-page storage format, a discrete-event simulated
+GPU/PCI-E/SSD machine, the streaming engine with its two multi-GPU
+strategies, seven algorithm kernels, and every baseline system the paper
+compares against.
+
+Quickstart::
+
+    from repro import (GTSEngine, BFSKernel, PageFormatConfig,
+                       build_database, generate_rmat, scaled_workstation)
+    from repro.units import KB
+
+    graph = generate_rmat(14, edge_factor=16, seed=7)
+    db = build_database(graph, PageFormatConfig(2, 2, 2 * KB))
+    engine = GTSEngine(db, scaled_workstation(), strategy="performance")
+    result = engine.run(BFSKernel(start_vertex=0))
+    print(result.summary())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    BCKernel,
+    BFSKernel,
+    CrossEdgesKernel,
+    DegreeKernel,
+    EgonetKernel,
+    InducedSubgraphKernel,
+    KCoreKernel,
+    NeighborhoodKernel,
+    RadiusKernel,
+    GTSEngine,
+    MicroTechnique,
+    PageRankKernel,
+    PerformanceStrategy,
+    RWRKernel,
+    RunResult,
+    SSSPKernel,
+    ScalabilityStrategy,
+    WCCKernel,
+    make_strategy,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    FormatError,
+    GTSError,
+    OutOfMemoryError,
+    SimulationError,
+)
+from repro.format import (
+    GraphDatabase,
+    PageFormatConfig,
+    SIX_BYTE_CONFIGS,
+    build_database,
+)
+from repro.graphgen import (
+    Graph,
+    generate_erdos_renyi,
+    generate_rmat,
+    generate_twitter_like,
+    generate_uk2007_like,
+    generate_yahooweb_like,
+)
+from repro.hardware import (
+    GPUSpec,
+    MachineSpec,
+    PCIeSpec,
+    StorageSpec,
+    paper_workstation,
+    scaled_workstation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GTSEngine",
+    "RunResult",
+    "MicroTechnique",
+    "PerformanceStrategy",
+    "ScalabilityStrategy",
+    "make_strategy",
+    "BFSKernel",
+    "PageRankKernel",
+    "SSSPKernel",
+    "WCCKernel",
+    "BCKernel",
+    "RWRKernel",
+    "DegreeKernel",
+    "KCoreKernel",
+    "NeighborhoodKernel",
+    "CrossEdgesKernel",
+    "RadiusKernel",
+    "InducedSubgraphKernel",
+    "EgonetKernel",
+    "GraphDatabase",
+    "PageFormatConfig",
+    "SIX_BYTE_CONFIGS",
+    "build_database",
+    "Graph",
+    "generate_rmat",
+    "generate_erdos_renyi",
+    "generate_twitter_like",
+    "generate_uk2007_like",
+    "generate_yahooweb_like",
+    "GPUSpec",
+    "MachineSpec",
+    "PCIeSpec",
+    "StorageSpec",
+    "paper_workstation",
+    "scaled_workstation",
+    "GTSError",
+    "FormatError",
+    "CapacityError",
+    "OutOfMemoryError",
+    "ConfigurationError",
+    "SimulationError",
+    "__version__",
+]

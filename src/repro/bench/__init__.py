@@ -1,0 +1,32 @@
+"""Experiment harness: datasets, runners and table formatting.
+
+This subpackage turns the library into the paper's evaluation section:
+
+* :mod:`~repro.bench.datasets` — the scaled dataset registry mirroring
+  Table 3 (RMAT26–RMAT32 plus the Twitter/UK2007/YahooWeb stand-ins),
+  with cached graphs and slotted-page databases.
+* :mod:`~repro.bench.harness` — engine runners that turn O.O.M. into the
+  paper's ``O.O.M.`` table entries, plus plain-text table rendering.
+* :mod:`~repro.bench.experiments` — one function per paper table/figure;
+  the ``benchmarks/`` suite and the examples call these.
+"""
+
+from repro.bench.datasets import (
+    DATASETS,
+    SCALE_FACTOR,
+    dataset_graph,
+    dataset_database,
+    default_start_vertex,
+)
+from repro.bench.harness import ExperimentTable, run_or_oom, format_cell
+
+__all__ = [
+    "DATASETS",
+    "SCALE_FACTOR",
+    "dataset_graph",
+    "dataset_database",
+    "default_start_vertex",
+    "ExperimentTable",
+    "run_or_oom",
+    "format_cell",
+]

@@ -1,0 +1,91 @@
+"""ASCII bar charts: figure-shaped rendering of experiment results.
+
+The paper's Figures 6–9 are grouped bar charts with a log-scale Y axis.
+``results/`` tables carry the numbers; this module renders the same data
+as horizontal bars so the *shape* — who wins, by what factor, where
+O.O.M. holes sit — is visible at a glance in a terminal.
+
+Bars are horizontal (one row per system per dataset group) and scaled
+logarithmically by default, mirroring the paper's log-scale axes: each
+doubling of elapsed time extends a bar by a fixed number of cells.
+"""
+
+import math
+
+from repro.units import format_seconds
+
+#: Character used for bar bodies.
+BAR = "#"
+
+
+def _bar_length(value, v_min, v_max, width, log_scale):
+    if value <= 0 or v_max <= 0:
+        return 0
+    if not log_scale or v_min <= 0 or v_max == v_min:
+        return max(1, int(round(width * value / v_max)))
+    position = (math.log(value) - math.log(v_min)) \
+        / (math.log(v_max) - math.log(v_min))
+    return max(1, int(round(1 + position * (width - 1))))
+
+
+def render_bar_chart(title, groups, series, width=46, log_scale=True,
+                     value_formatter=format_seconds):
+    """Render grouped horizontal bars.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    groups:
+        Group labels in display order (the paper's datasets).
+    series:
+        ``{system name: {group: value-or-None}}``; ``None`` (or a
+        string such as ``"O.O.M."``) renders as a annotation instead of
+        a bar.
+    width:
+        Maximum bar width in characters.
+    log_scale:
+        Log-scale bar lengths (the paper's Figure 6 axis).
+    value_formatter:
+        Renders the numeric annotation at the end of each bar.
+    """
+    numeric = [value
+               for per_group in series.values()
+               for value in per_group.values()
+               if isinstance(value, (int, float)) and value > 0]
+    v_min = min(numeric) if numeric else 0.0
+    v_max = max(numeric) if numeric else 0.0
+    name_width = max([len(name) for name in series] + [4])
+
+    lines = [title, "=" * len(title)]
+    if log_scale and numeric:
+        lines.append("(log-scale bars: %s ... %s)"
+                     % (value_formatter(v_min), value_formatter(v_max)))
+    for group in groups:
+        lines.append("")
+        lines.append("%s:" % group)
+        for name, per_group in series.items():
+            value = per_group.get(group)
+            if isinstance(value, (int, float)):
+                length = _bar_length(value, v_min, v_max, width, log_scale)
+                bar = BAR * length
+                annotation = value_formatter(value)
+            else:
+                bar = ""
+                annotation = str(value) if value is not None else "-"
+            lines.append("  %-*s |%-*s| %s"
+                         % (name_width, name, width, bar, annotation))
+    return "\n".join(lines)
+
+
+def chart_from_results(title, groups, outcomes, width=46, log_scale=True):
+    """Build a chart from ``{system: {group: RunResult-or-"O.O.M."}}``."""
+    series = {}
+    for name, per_group in outcomes.items():
+        series[name] = {
+            group: (value.elapsed_seconds
+                    if hasattr(value, "elapsed_seconds") else value)
+            for group, value in per_group.items()
+        }
+    return render_bar_chart(title, groups, series, width=width,
+                            log_scale=log_scale)

@@ -1,0 +1,93 @@
+"""Aggregate the rendered experiment artifacts into one report file.
+
+``pytest benchmarks/ --benchmark-only`` leaves one text file per table
+or figure under ``results/``; :func:`generate_report` stitches them into
+a single ``REPORT.md`` ordered like the paper's evaluation section, so
+the whole reproduced evaluation reads top to bottom.  Exposed on the
+command line as ``python -m repro report``.
+"""
+
+import os
+
+#: results/ filenames in the paper's presentation order.  Files not
+#: listed here are appended alphabetically under "Additional results".
+REPORT_ORDER = (
+    ("Table 1", "table1_ratios.txt"),
+    ("Table 2", "table2_idconfig.txt"),
+    ("Table 3", "table3_datasets.txt"),
+    ("Table 4", "table4_wa_sizes.txt"),
+    ("Table 5", "table5_totem_options.txt"),
+    ("Figure 4", "fig4_timelines.txt"),
+    ("Figure 6 (BFS)", "fig6_distributed_bfs.txt"),
+    ("Figure 6 (PageRank)", "fig6_distributed_pagerank.txt"),
+    ("Figure 7 (BFS)", "fig7_cpu_bfs.txt"),
+    ("Figure 7 (PageRank)", "fig7_cpu_pagerank.txt"),
+    ("Figure 8 (BFS)", "fig8_gpu_bfs.txt"),
+    ("Figure 8 (PageRank)", "fig8_gpu_pagerank.txt"),
+    ("Figure 9 (BFS)", "fig9_strategies_bfs.txt"),
+    ("Figure 9 (PageRank)", "fig9_strategies_pagerank.txt"),
+    ("Figure 10 (BFS)", "fig10_streams_bfs.txt"),
+    ("Figure 10 (PageRank)", "fig10_streams_pagerank.txt"),
+    ("Figure 11 (elapsed)", "fig11_cache_0.txt"),
+    ("Figure 11 (hit rate)", "fig11_cache_1.txt"),
+    ("Figure 13 (SSSP)", "fig13_sssp.txt"),
+    ("Figure 13 (CC)", "fig13_cc.txt"),
+    ("Figure 13 (BC)", "fig13_bc.txt"),
+    ("Figure 14 (BFS)", "fig14_micro_bfs.txt"),
+    ("Figure 14 (PageRank)", "fig14_micro_pagerank.txt"),
+    ("Section 8 (BFS)", "sec8_streaming_bfs.txt"),
+    ("Section 8 (PageRank)", "sec8_streaming_pagerank.txt"),
+    ("Ablation: caching", "ablation_cache.txt"),
+    ("Ablation: cache model", "ablation_cache_model.txt"),
+    ("Ablation: cache policies", "ablation_cache_policies.txt"),
+    ("Ablation: GPU scaling", "ablation_gpu_scaling.txt"),
+    ("Ablation: SSD scaling", "ablation_ssd_scaling.txt"),
+    ("Ablation: buffering", "ablation_buffering.txt"),
+    ("Extension: more algorithms", "extended_algorithms.txt"),
+)
+
+_HEADER = """# Reproduced evaluation
+
+Generated from the artifacts under ``results/`` (run
+``pytest benchmarks/ --benchmark-only`` to refresh them, then
+``python -m repro report``).  Simulated times are at 1/8192 scale;
+multiply by 8192 for paper-equivalent seconds.  See EXPERIMENTS.md for
+the paper-versus-measured analysis of each artifact.
+"""
+
+
+def generate_report(results_dir="results", output_path=None):
+    """Write ``REPORT.md`` from the files in ``results_dir``.
+
+    Returns ``(output_path, included, missing)`` where ``included`` and
+    ``missing`` list the section titles found and absent.
+    """
+    output_path = output_path or os.path.join(results_dir, "REPORT.md")
+    sections = []
+    included = []
+    missing = []
+    listed = set()
+    for title, filename in REPORT_ORDER:
+        listed.add(filename)
+        path = os.path.join(results_dir, filename)
+        if not os.path.exists(path):
+            missing.append(title)
+            continue
+        with open(path) as handle:
+            body = handle.read().rstrip()
+        sections.append("## %s\n\n```\n%s\n```\n" % (title, body))
+        included.append(title)
+    extras = sorted(
+        name for name in os.listdir(results_dir)
+        if name.endswith(".txt") and name not in listed
+    ) if os.path.isdir(results_dir) else []
+    if extras:
+        sections.append("## Additional results\n")
+        for name in extras:
+            with open(os.path.join(results_dir, name)) as handle:
+                body = handle.read().rstrip()
+            sections.append("### %s\n\n```\n%s\n```\n" % (name, body))
+            included.append(name)
+    with open(output_path, "w") as handle:
+        handle.write(_HEADER + "\n" + "\n".join(sections))
+    return output_path, included, missing

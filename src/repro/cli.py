@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+* ``run`` — run one algorithm on a registry dataset (or an edge-list
+  file) through the GTS engine and print the result summary.
+* ``datasets`` — list the scaled experiment datasets (Table 3 view).
+* ``recommend`` — cost-based configuration advice (Section 5).
+* ``bench`` — regenerate one paper table/figure by ID.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro run --dataset rmat27 --algorithm pagerank --iterations 10
+    python -m repro run --edges my_graph.txt --algorithm bfs --start 0
+    python -m repro recommend --dataset rmat32 --algorithm pagerank
+    python -m repro bench --experiment fig9 --algorithm BFS
+    python -m repro report
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench import experiments
+from repro.bench.datasets import (
+    DATASETS,
+    dataset_database,
+    dataset_graph,
+    default_start_vertex,
+)
+from repro.core import (
+    BCKernel,
+    BFSKernel,
+    DegreeKernel,
+    GTSEngine,
+    KCoreKernel,
+    PageRankKernel,
+    RWRKernel,
+    SSSPKernel,
+    WCCKernel,
+)
+from repro.core.optimizer import recommend_configuration
+from repro.errors import GTSError
+from repro.format import PageFormatConfig, build_database
+from repro.graphgen.io import read_edge_list
+from repro.hardware.specs import scaled_workstation
+from repro.units import KB
+
+#: CLI algorithm name -> (kernel factory, needs weighted db, needs
+#: symmetrised db).  Factories take (args, start_vertex).
+ALGORITHMS = {
+    "bfs": (lambda args, start: BFSKernel(start), False, False),
+    "pagerank": (lambda args, start: PageRankKernel(
+        iterations=args.iterations), False, False),
+    "sssp": (lambda args, start: SSSPKernel(start), True, False),
+    "cc": (lambda args, start: WCCKernel(), False, True),
+    "bc": (lambda args, start: BCKernel(sources=(start,)), False, False),
+    "rwr": (lambda args, start: RWRKernel(
+        query_vertex=start, iterations=args.iterations), False, False),
+    "degree": (lambda args, start: DegreeKernel(), False, False),
+    "kcore": (lambda args, start: KCoreKernel(k=args.k), False, True),
+}
+
+#: Experiment IDs for the ``bench`` subcommand.
+EXPERIMENTS = {
+    "table1": lambda args: experiments.table1_transfer_kernel_ratios(),
+    "table2": lambda args: experiments.table2_id_configurations(),
+    "table3": lambda args: experiments.table3_dataset_statistics(),
+    "table4": lambda args: experiments.table4_wa_sizes(),
+    "table5": lambda args: experiments.table5_totem_partitions(),
+    "fig6": lambda args: experiments.figure6_distributed(args.algorithm),
+    "fig7": lambda args: experiments.figure7_cpu(args.algorithm),
+    "fig8": lambda args: experiments.figure8_gpu(args.algorithm),
+    "fig9": lambda args: experiments.figure9_strategies(args.algorithm),
+    "fig10": lambda args: experiments.figure10_streams(args.algorithm),
+    "fig11": lambda args: experiments.figure11_cache(),
+    "fig13": lambda args: experiments.figure13_algorithms(
+        args.algorithm if args.algorithm in ("SSSP", "CC", "BC")
+        else "SSSP"),
+    "fig14": lambda args: experiments.figure14_micro(args.algorithm),
+}
+
+
+def build_parser():
+    """Construct the argparse command tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GTS (SIGMOD 2016) reproduction command line")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run an algorithm through GTS")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=sorted(DATASETS),
+                        help="registry dataset name")
+    source.add_argument("--edges", help="edge-list text file to load")
+    run.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                     default="bfs")
+    run.add_argument("--start", type=int, default=None,
+                     help="start/query vertex (default: busiest vertex)")
+    run.add_argument("--iterations", type=int, default=10)
+    run.add_argument("--k", type=int, default=2, help="k for k-core")
+    run.add_argument("--strategy",
+                     choices=("performance", "scalability"),
+                     default="performance")
+    run.add_argument("--streams", type=int, default=16)
+    run.add_argument("--gpus", type=int, default=2)
+    run.add_argument("--ssds", type=int, default=2)
+    run.add_argument("--micro", choices=("edge", "vertex", "hybrid"),
+                     default="edge")
+    run.add_argument("--no-cache", action="store_true")
+    run.add_argument("--page-size", type=int, default=2 * KB)
+
+    commands.add_parser("datasets", help="list experiment datasets")
+
+    recommend = commands.add_parser(
+        "recommend", help="cost-based configuration advice")
+    recommend.add_argument("--dataset", choices=sorted(DATASETS),
+                           required=True)
+    recommend.add_argument("--algorithm",
+                           choices=("bfs", "pagerank", "sssp", "cc"),
+                           default="pagerank")
+    recommend.add_argument("--iterations", type=int, default=10)
+    recommend.add_argument("--gpus", type=int, default=2)
+
+    bench = commands.add_parser("bench",
+                                help="regenerate a paper table/figure")
+    bench.add_argument("--experiment", choices=sorted(EXPERIMENTS),
+                       required=True)
+    bench.add_argument("--algorithm", default="BFS",
+                       help="BFS / PageRank (SSSP / CC / BC for fig13)")
+
+    report = commands.add_parser(
+        "report", help="aggregate results/ into REPORT.md")
+    report.add_argument("--results-dir", default="results")
+    report.add_argument("--output", default=None)
+    return parser
+
+
+def _load_database(args):
+    weighted = ALGORITHMS[args.algorithm][1]
+    symmetrised = ALGORITHMS[args.algorithm][2]
+    if args.dataset:
+        graph = dataset_graph(args.dataset, weighted=weighted,
+                              symmetrised=symmetrised)
+        db = dataset_database(args.dataset, weighted=weighted,
+                              symmetrised=symmetrised)
+        return graph, db, args.dataset
+    graph = read_edge_list(args.edges)
+    if symmetrised:
+        graph = graph.symmetrised()
+    config = PageFormatConfig(
+        page_id_bytes=2, slot_bytes=2, page_size=args.page_size,
+        weight_bytes=4 if (weighted and graph.weights is not None) else 0)
+    db = build_database(graph, config, name=args.edges)
+    return graph, db, args.edges
+
+
+def _command_run(args):
+    graph, db, name = _load_database(args)
+    start = (args.start if args.start is not None
+             else default_start_vertex(graph))
+    kernel = ALGORITHMS[args.algorithm][0](args, start)
+    machine = scaled_workstation(num_gpus=args.gpus, num_ssds=args.ssds)
+    engine = GTSEngine(db, machine, strategy=args.strategy,
+                       num_streams=args.streams,
+                       micro_technique=args.micro,
+                       enable_caching=not args.no_cache)
+    result = engine.run(kernel, dataset_name=name)
+    print(result.summary())
+    for key, values in result.values.items():
+        values = np.asarray(values)
+        if values.size <= 4:
+            print("  %s: %s" % (key, values))
+        elif np.issubdtype(values.dtype, np.floating):
+            print("  %s: min %.4g  max %.4g  mean %.4g"
+                  % (key, values.min(), values.max(), values.mean()))
+        else:
+            print("  %s: min %s  max %s" % (key, values.min(),
+                                            values.max()))
+    return 0
+
+
+def _command_datasets(args):
+    print("%-10s %12s %14s %8s %18s" % ("name", "vertices", "edges",
+                                        "(p,q)", "paper vertices"))
+    for name in sorted(DATASETS):
+        spec = DATASETS[name]
+        print("%-10s %12d %14d %8s %18s"
+              % (name, spec.scaled_vertices,
+                 spec.scaled_vertices * max(
+                     1, spec.paper_edges // spec.paper_vertices),
+                 spec.page_config, "{:,}".format(spec.paper_vertices)))
+    return 0
+
+
+def _command_recommend(args):
+    kernels = {
+        "bfs": BFSKernel(0),
+        "pagerank": PageRankKernel(iterations=args.iterations),
+        "sssp": SSSPKernel(0),
+        "cc": WCCKernel(),
+    }
+    kernel = kernels[args.algorithm]
+    db = dataset_database(args.dataset)
+    machine = scaled_workstation(num_gpus=args.gpus)
+    rounds = args.iterations if args.algorithm in ("pagerank",) else 1
+    recommendation = recommend_configuration(db, machine, kernel,
+                                             rounds=rounds)
+    print(recommendation.describe())
+    return 0
+
+
+def _command_report(args):
+    from repro.bench.report import generate_report
+    path, included, missing = generate_report(args.results_dir,
+                                              args.output)
+    print("wrote %s with %d section(s)" % (path, len(included)))
+    if missing:
+        print("missing artifacts (run pytest benchmarks/ first): %s"
+              % ", ".join(missing))
+    return 0
+
+
+def _command_bench(args):
+    outcome = EXPERIMENTS[args.experiment](args)
+    tables = outcome if isinstance(outcome, tuple) else (outcome,)
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "datasets": _command_datasets,
+        "recommend": _command_recommend,
+        "bench": _command_bench,
+        "report": _command_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except GTSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

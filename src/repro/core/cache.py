@@ -1,0 +1,110 @@
+"""GPU-side page cache: ``cachedPIDMap`` with pluggable replacement.
+
+After WABuf / RABuf / SPBuf / LPBuf are allocated, leftover device memory
+caches topology pages so BFS-like algorithms that revisit pages across
+levels skip the PCI-E copy.  The paper's naive hit-rate approximation for
+a cache of ``B`` pages over ``S + L`` total pages is ``B / (S + L)``
+(random-graph assumption); Figure 11 sweeps the cache size.
+
+"GTS basically adopts the LRU algorithm for the caching algorithm, but
+other algorithms can be used as well" (Section 3.3) — so the replacement
+policy is pluggable here:
+
+* ``"lru"`` (default) — least recently used.
+* ``"fifo"`` — evict in admission order; cheaper bookkeeping on a GPU.
+* ``"clock"`` — the classic second-chance approximation of LRU.
+* ``"pin"`` — first-streamed pages stay resident (scan-resistant: a
+  level-synchronous sweep in ascending page order floods LRU/FIFO).
+"""
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+_POLICIES = ("lru", "fifo", "clock", "pin")
+
+
+class PageCache:
+    """A fixed-capacity page cache for one GPU (``cachedPIDMap_i``)."""
+
+    def __init__(self, capacity_pages, policy="lru"):
+        if capacity_pages < 0:
+            raise ConfigurationError("cache capacity cannot be negative")
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                "unknown cache policy %r (expected one of %s)"
+                % (policy, ", ".join(_POLICIES)))
+        self.capacity_pages = capacity_pages
+        self.policy = policy
+        self._pages = OrderedDict()   # page_id -> referenced bit
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, page_id):
+        return page_id in self._pages
+
+    def __len__(self):
+        return len(self._pages)
+
+    def lookup(self, page_id):
+        """Probe the cache (Algorithm 1 line 16); counts hits/misses."""
+        if self.capacity_pages == 0:
+            self.misses += 1
+            return False
+        if page_id in self._pages:
+            if self.policy == "lru":
+                self._pages.move_to_end(page_id)
+            elif self.policy == "clock":
+                self._pages[page_id] = True  # referenced bit
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, page_id):
+        """Cache a page just streamed in; returns the evicted victim."""
+        if self.capacity_pages == 0:
+            return None
+        if page_id in self._pages:
+            if self.policy == "lru":
+                self._pages.move_to_end(page_id)
+            return None
+        victim = None
+        if len(self._pages) >= self.capacity_pages:
+            if self.policy == "pin":
+                return None  # resident set is stable once full
+            victim = self._evict()
+        self._pages[page_id] = False
+        return victim
+
+    def _evict(self):
+        if self.policy == "clock":
+            # Second chance: clear referenced bits until an unreferenced
+            # page comes to hand.
+            while True:
+                page_id, referenced = next(iter(self._pages.items()))
+                if referenced:
+                    self._pages.move_to_end(page_id)
+                    self._pages[page_id] = False
+                else:
+                    del self._pages[page_id]
+                    return page_id
+        # LRU and FIFO both evict the head (lookup refreshes order only
+        # under LRU, which is exactly their difference).
+        page_id, _ = self._pages.popitem(last=False)
+        return page_id
+
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def page_ids(self):
+        """Snapshot of cached page IDs (copied back to MM in Algorithm 1)."""
+        return list(self._pages)
+
+    @staticmethod
+    def naive_hit_rate(capacity_pages, total_pages):
+        """The paper's ``B / (S + L)`` random-graph approximation."""
+        if total_pages <= 0:
+            return 0.0
+        return min(1.0, capacity_pages / total_pages)

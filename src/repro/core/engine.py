@@ -1,0 +1,347 @@
+"""The GTS engine: Algorithm 1's framework over the simulated machine.
+
+One :class:`GTSEngine` ties together every piece the paper describes:
+
+* a :class:`~repro.format.database.GraphDatabase` of slotted pages as the
+  streamed topology, with ``nextPIDSet`` steering which pages each round
+  touches (all of them for PageRank-like kernels, the frontier's pages for
+  BFS-like kernels);
+* a :class:`~repro.hardware.specs.MachineSpec` instantiated into per-run
+  resource timelines — SSD channels, the main-memory buffer
+  (``bufferPIDMap``), per-GPU copy engines and stream slots, and per-GPU
+  page caches (``cachedPIDMap``);
+* a multi-GPU :class:`~repro.core.strategies.Strategy` deciding page
+  placement (``h(j)``), WA residency, and synchronisation;
+* a :class:`~repro.core.kernels.base.Kernel` executed **for real** in
+  NumPy page-by-page, with each invocation's measured work driving the
+  simulated kernel duration.
+
+Every page dispatch follows Algorithm 1's three-way branch: GPU cache hit
+(kernel only) → main-memory buffer hit (stream copy + kernel) → storage
+fetch (SSD read + stream copy + kernel).  Copies serialize on the GPU's
+copy engine; kernels run concurrently on up to ``min(streams, 32)``
+stream slots; pages are assigned to streams round-robin as in Figure 3.
+"""
+
+import time as _time
+
+import numpy as np
+
+from repro.core.cache import PageCache
+from repro.core.kernels.base import ALL_PAGES, KernelContext
+from repro.core.micro import MicroTechnique
+from repro.core.result import RoundStats, RunResult
+from repro.core.strategies import make_strategy
+from repro.core.streams import StreamScheduler
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.machine import MachineRuntime
+
+
+class GTSEngine:
+    """Run graph-algorithm kernels by streaming topology to GPUs.
+
+    Parameters
+    ----------
+    db:
+        The slotted-page graph database.
+    machine:
+        A :class:`~repro.hardware.specs.MachineSpec`; fresh resource
+        timelines are created for every :meth:`run`.
+    strategy:
+        ``"performance"`` (Strategy-P) or ``"scalability"`` (Strategy-S),
+        or a :class:`~repro.core.strategies.Strategy` instance.
+    num_streams:
+        GPU streams per device (Figure 10 sweeps 1–32; CUDA caps
+        concurrent kernel execution at 32).
+    micro_technique:
+        Intra-page parallelisation model: ``"edge"`` (VWC, the default),
+        ``"vertex"`` or ``"hybrid"`` (Section 6.2).
+    enable_caching:
+        Cache streamed pages in spare device memory (Section 3.3).
+    cache_bytes:
+        Per-GPU cache size; ``None`` means "all free device memory after
+        the four buffers" (the paper's default behaviour).
+    cache_policy:
+        Page-cache replacement policy: ``"lru"`` (the paper's default),
+        ``"fifo"``, ``"clock"`` or ``"pin"`` (Section 3.3 allows
+        alternatives to LRU).
+    mm_buffer_bytes:
+        Main-memory page-buffer size; ``None`` applies the paper's
+        policy — the whole graph when it fits in main memory, otherwise
+        ``buffer_fraction`` (20 %) of the graph size.
+    tracing:
+        Record every copy and kernel interval and attach a Figure
+        4-style ASCII stream timeline to the result.
+    validate_simulation:
+        Audit the finished schedule against the DES invariants (no
+        resource overlap, accounting, concurrency caps); implies
+        ``tracing``.  Raises :class:`~repro.errors.SimulationError` on
+        any violation.
+    """
+
+    def __init__(self, db, machine, strategy="performance", num_streams=16,
+                 micro_technique=MicroTechnique.EDGE_CENTRIC,
+                 enable_caching=True, cache_bytes=None, cache_policy="lru",
+                 mm_buffer_bytes=None, tracing=False,
+                 validate_simulation=False):
+        if num_streams < 1:
+            raise ConfigurationError("need at least one stream")
+        self.db = db
+        self.machine = machine
+        self.strategy = make_strategy(strategy)
+        self.num_streams = num_streams
+        self.micro_technique = MicroTechnique.parse(micro_technique)
+        self.enable_caching = enable_caching
+        self.cache_bytes = cache_bytes
+        self.cache_policy = cache_policy
+        self.mm_buffer_bytes = mm_buffer_bytes
+        self.validate_simulation = validate_simulation
+        self.tracing = tracing or validate_simulation
+        self._lp_runs = self._index_large_page_runs()
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _index_large_page_runs(self):
+        """Map each first-chunk LP page ID to its vertex's full run.
+
+        Adjacency entries always address a large vertex through its first
+        large page (slot 0); streaming that vertex requires the whole
+        consecutive run, which the RVT's LP_RANGE column delimits.
+        """
+        runs = {}
+        lp_ranges = self.db.rvt.lp_ranges
+        for pid in self.db.large_page_ids():
+            first = pid - int(lp_ranges[pid])
+            runs.setdefault(first, []).append(pid)
+        return {first: np.asarray(sorted(pids), dtype=np.int64)
+                for first, pids in runs.items()}
+
+    def _expand_pids(self, pids):
+        """Normalise a round's page set: dedupe, expand LP runs, and
+        split into (small, large) in the SP-first order the paper uses to
+        avoid kernel switching."""
+        pids = np.unique(np.asarray(pids, dtype=np.int64))
+        lp_ranges = self.db.rvt.lp_ranges
+        is_lp = lp_ranges[pids] >= 0
+        small = pids[~is_lp]
+        large_entries = pids[is_lp]
+        if len(large_entries):
+            firsts = large_entries - lp_ranges[large_entries]
+            expanded = [self._lp_runs[int(first)]
+                        for first in np.unique(firsts)]
+            large = np.unique(np.concatenate(expanded))
+        else:
+            large = large_entries
+        return small, large
+
+    def _mm_buffer_capacity(self):
+        topology = self.db.topology_bytes()
+        if self.mm_buffer_bytes is not None:
+            return min(self.mm_buffer_bytes, self.machine.main_memory)
+        if topology <= self.machine.main_memory:
+            return topology
+        return min(int(self.machine.main_memory),
+                   max(self.db.page_bytes(),
+                       int(topology * self.machine.buffer_fraction)))
+
+    def _allocate_device_buffers(self, runtime, kernel):
+        """Size and allocate WABuf/RABuf/SPBuf/LPBuf per GPU; whatever
+        device memory remains becomes the page cache.  Raises the
+        paper's O.O.M. when WA cannot fit."""
+        db = self.db
+        wa_total = kernel.wa_bytes(db.num_vertices)
+        wa_gpu = self.strategy.wa_gpu_bytes(wa_total, runtime.num_gpus)
+        max_records = max((e.num_records for e in db.directory), default=0)
+        ra_buf = (self.num_streams * max_records
+                  * kernel.ra_bytes_per_vertex)
+        sp_buf = (self.num_streams * db.config.page_size
+                  if db.num_small_pages else 0)
+        lp_buf = (self.num_streams * db.config.page_size
+                  if db.num_large_pages else 0)
+        caches = []
+        for gpu in runtime.gpus:
+            gpu.allocate(wa_gpu, "WABuf")
+            gpu.allocate(ra_buf, "RABuf")
+            gpu.allocate(sp_buf, "SPBuf")
+            gpu.allocate(lp_buf, "LPBuf")
+            if self.enable_caching:
+                budget = gpu.free_device_memory()
+                if self.cache_bytes is not None:
+                    budget = min(budget, self.cache_bytes)
+                capacity_pages = int(budget // db.config.page_size)
+                gpu.allocate(capacity_pages * db.config.page_size,
+                             "page cache")
+            else:
+                capacity_pages = 0
+            caches.append(PageCache(capacity_pages,
+                                    policy=self.cache_policy))
+        return wa_total, caches
+
+    # ------------------------------------------------------------------
+    # The run loop (Algorithm 1)
+    # ------------------------------------------------------------------
+    def run(self, kernel, dataset_name=None):
+        """Execute ``kernel`` over the database; returns a
+        :class:`~repro.core.result.RunResult` with the algorithm output
+        and the simulated performance counters."""
+        wall_start = _time.perf_counter()
+        db = self.db
+        topology = db.topology_bytes()
+        runtime = MachineRuntime(
+            self.machine, num_streams=self.num_streams,
+            page_bytes=db.config.page_size,
+            mm_buffer_bytes=self._mm_buffer_capacity(),
+            tracing=self.tracing)
+        if runtime.storage is not None:
+            runtime.storage.check_fits(topology)
+        elif topology > runtime.mm_buffer.capacity_bytes:
+            raise CapacityError(
+                "graph of %d bytes exceeds main memory %d and the machine "
+                "has no secondary storage" % (
+                    topology, runtime.mm_buffer.capacity_bytes),
+                required_bytes=topology,
+                available_bytes=runtime.mm_buffer.capacity_bytes)
+
+        wa_total, caches = self._allocate_device_buffers(runtime, kernel)
+        state = kernel.init_state(db)
+        ctx = KernelContext(db, self.micro_technique)
+
+        # |G| < MMBuf: load the graph up front (Algorithm 1 lines 9-10).
+        preloaded = False
+        if topology <= runtime.mm_buffer.capacity_bytes:
+            runtime.mm_buffer.preload(range(db.num_pages))
+            preloaded = True
+
+        # Step 1: copy WA chunks to the GPUs.
+        wa_ready = self.strategy.book_wa_broadcast(runtime, wa_total)
+
+        rounds = []
+        scheduler = StreamScheduler(runtime)
+        total_edges = 0
+        fetch_ready = {}
+
+        round_index = 0
+        while True:
+            plan = kernel.next_round(state)
+            if plan is None:
+                break
+            if isinstance(plan.pids, str) and plan.pids == ALL_PAGES:
+                small = db.small_page_ids()
+                large = db.large_page_ids()
+            else:
+                small, large = self._expand_pids(plan.pids)
+            stats = RoundStats(round_index=round_index,
+                               description=plan.description,
+                               start_time=runtime.now)
+            next_pid_chunks = []
+            fetch_ready.clear()
+            round_start = runtime.now
+            # SPs first, then LPs (reduces kernel switching, Section 3.2).
+            for pid in np.concatenate([small, large]):
+                pid = int(pid)
+                page = db.page(pid)
+                work = kernel.process_page(page, state, ctx)
+                stats.pages_dispatched += 1
+                stats.edges_traversed += work.edges_traversed
+                stats.active_vertices += work.active_vertices
+                total_edges += work.edges_traversed
+                if work.next_pids is not None and len(work.next_pids):
+                    next_pid_chunks.append(work.next_pids)
+                ra_bytes = db.ra_subvector_bytes(
+                    pid, kernel.ra_bytes_per_vertex)
+                for g in self.strategy.assign(pid, runtime.num_gpus):
+                    if caches[g].lookup(pid):
+                        stats.pages_from_cache += 1
+                        scheduler.dispatch_cached(
+                            g, max(round_start, wa_ready[g]),
+                            work.lane_steps, kernel.cycles_per_lane_step)
+                    else:
+                        ready = self._fetch(runtime, fetch_ready, pid,
+                                            round_start, stats)
+                        copy_bytes = db.page_bytes(pid) + ra_bytes
+                        stats.bytes_streamed += copy_bytes
+                        scheduler.dispatch_streamed(
+                            g, max(ready, wa_ready[g]), copy_bytes,
+                            work.lane_steps, kernel.cycles_per_lane_step)
+                        caches[g].admit(pid)
+
+            # Lines 27-30: barrier, WA sync, nextPIDSet merge.
+            barrier = max(gpu.done_at() for gpu in runtime.gpus)
+            sync_end = self.strategy.book_sync(
+                runtime, wa_total, barrier,
+                sync_full_wa=not kernel.traversal)
+            runtime.now = max(barrier, sync_end)
+            for gpu in runtime.gpus:
+                gpu.advance_to(runtime.now)
+            merged = None
+            if kernel.traversal:
+                merged = (np.unique(np.concatenate(next_pid_chunks))
+                          if next_pid_chunks else np.empty(0, dtype=np.int64))
+            kernel.finish_round(state, merged)
+            stats.end_time = runtime.now
+            rounds.append(stats)
+            round_index += 1
+
+        values = kernel.results(state)
+        if self.validate_simulation:
+            from repro.hardware.validation import check_runtime
+            check_runtime(runtime)
+        timeline = None
+        if self.tracing:
+            from repro.hardware.trace import render_gpu_timeline
+            timeline = "\n\n".join(
+                render_gpu_timeline(gpu, 0.0, runtime.now)
+                for gpu in runtime.gpus)
+        wall = _time.perf_counter() - wall_start
+        return RunResult(
+            algorithm=kernel.name,
+            dataset=dataset_name or db.name,
+            values=values,
+            elapsed_seconds=runtime.now,
+            wall_seconds=wall,
+            num_rounds=round_index,
+            rounds=rounds,
+            pages_streamed=sum(r.pages_dispatched for r in rounds),
+            bytes_streamed=sum(r.bytes_streamed for r in rounds),
+            storage_bytes_read=(runtime.storage.bytes_read
+                                if runtime.storage else 0),
+            cache_hits=sum(c.hits for c in caches),
+            cache_misses=sum(c.misses for c in caches),
+            mm_buffer_hits=runtime.mm_buffer.hits,
+            mm_buffer_misses=runtime.mm_buffer.misses,
+            transfer_busy_seconds=sum(
+                g.copy_engine.busy_time for g in runtime.gpus),
+            kernel_busy_seconds=sum(
+                g.kernel_busy_time for g in runtime.gpus),
+            kernel_stream_seconds=sum(
+                g.kernel_stream_time for g in runtime.gpus),
+            kernel_invocations=sum(
+                g.kernel_invocations for g in runtime.gpus),
+            edges_traversed=total_edges,
+            num_gpus=runtime.num_gpus,
+            num_streams=self.num_streams,
+            strategy=self.strategy.name,
+            notes="preloaded" if preloaded else "cold storage",
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------
+    def _fetch(self, runtime, fetch_ready, pid, round_start, stats):
+        """Make a page available in main memory; returns its ready time.
+
+        Memoised per round so Strategy-S's replicated dispatch fetches a
+        page from storage only once (both GPUs then copy it from MMBuf).
+        """
+        if pid in fetch_ready:
+            return fetch_ready[pid]
+        if runtime.mm_buffer.lookup(pid):
+            stats.pages_from_buffer += 1
+            ready = round_start
+        else:
+            stats.pages_from_storage += 1
+            _, ready = runtime.storage.fetch(
+                pid, self.db.page_bytes(pid), round_start)
+            runtime.mm_buffer.admit(pid)
+        fetch_ready[pid] = ready
+        return ready

@@ -1,0 +1,101 @@
+"""Cross-edges kernel (PageRank-like family, Section 3.3).
+
+Given a partition assignment of the vertices, count the edges whose
+endpoints fall in different parts — the paper lists "cross-edges" among
+the linear-scan algorithms GTS supports (it is the quantity a graph
+partitioner minimises, and what TOTEM's boundary traffic is made of).
+
+One full-scan round.  The partition vector is read for both endpoints of
+every edge: the source side arrives with the page (an RA subvector), but
+the target side is a random access, so the whole partition vector must be
+device-resident — it is accounted as WA (read-only) alongside the
+per-vertex cross counters.
+"""
+
+import numpy as np
+
+from repro.core.kernels.base import ALL_PAGES, Kernel, PageWork, RoundPlan
+from repro.errors import ConfigurationError
+from repro.format.page import PageKind
+
+
+class _CrossEdgesState:
+    def __init__(self, db, partition):
+        self.partition = partition
+        self.cross_count = np.zeros(db.num_vertices, dtype=np.int64)
+        self.total_cross = 0
+        self.total_edges = 0
+        self.done = False
+
+
+class CrossEdgesKernel(Kernel):
+    """Count edges crossing a vertex partition in one topology scan."""
+
+    name = "CrossEdges"
+    traversal = False
+    wa_bytes_per_vertex = 8       # partition label (4 B) + counter (4 B)
+    ra_bytes_per_vertex = 0
+    cycles_per_lane_step = 16.0   # two label loads and a compare per edge
+
+    def __init__(self, partition):
+        self.partition = np.asarray(partition, dtype=np.int64)
+        if self.partition.ndim != 1:
+            raise ConfigurationError("partition must be a 1-D assignment")
+
+    def init_state(self, db):
+        if len(self.partition) != db.num_vertices:
+            raise ConfigurationError(
+                "partition labels %d vertices but the graph has %d"
+                % (len(self.partition), db.num_vertices))
+        return _CrossEdgesState(db, self.partition)
+
+    def next_round(self, state):
+        if state.done:
+            return None
+        return RoundPlan(pids=ALL_PAGES, description="cross-edge scan")
+
+    def finish_round(self, state, merged_next_pids):
+        state.done = True
+
+    def results(self, state):
+        return {
+            "cross_count": state.cross_count.copy(),
+            "total_cross_edges": np.asarray([state.total_cross]),
+            "cut_fraction": np.asarray([
+                state.total_cross / state.total_edges
+                if state.total_edges else 0.0]),
+        }
+
+    # ------------------------------------------------------------------
+    def _scan(self, page, state, ctx, source_parts):
+        crossing = state.partition[page.adj_vids] != source_parts
+        num_cross = int(crossing.sum())
+        state.total_cross += num_cross
+        state.total_edges += page.num_edges
+        if page.kind is PageKind.SMALL:
+            # Segment-sum per record; np.add.reduceat mishandles empty
+            # segments (degree-0 records), so scatter by edge owner.
+            per_record = np.zeros(page.num_records, dtype=np.int64)
+            edge_owner = np.repeat(
+                np.arange(page.num_records, dtype=np.int64),
+                page.degrees())
+            np.add.at(per_record, edge_owner, crossing.astype(np.int64))
+            state.cross_count[page.vids()] += per_record
+        else:
+            state.cross_count[page.vid] += num_cross
+        return PageWork(
+            num_records=page.num_records,
+            active_vertices=page.num_records,
+            edges_traversed=page.num_edges,
+            lane_steps=ctx.lane_steps(page.degrees()),
+        )
+
+    def process_sp(self, page, state, ctx):
+        source_parts = np.repeat(
+            state.partition[page.vids()], page.degrees())
+        return self._scan(page, state, ctx, source_parts)
+
+    def process_lp(self, page, state, ctx):
+        source_parts = np.full(page.num_edges,
+                               state.partition[page.vid], dtype=np.int64)
+        return self._scan(page, state, ctx, source_parts)

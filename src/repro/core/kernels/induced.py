@@ -1,0 +1,192 @@
+"""Induced-subgraph and egonet kernels (Section 3.3's algorithm list).
+
+* :class:`InducedSubgraphKernel` — given a vertex set, one full topology
+  scan finds the edges with both endpoints inside the set (the induced
+  subgraph), reporting per-vertex internal degrees, the edge count, and
+  optionally the edges themselves.
+* :class:`EgonetKernel` — the egonet of a vertex is the induced subgraph
+  over the vertex and its neighbours; this kernel runs a 1-hop
+  neighbourhood phase (BFS-like: only the ego's pages stream) followed by
+  an induced-subgraph scan, two phases in one engine run — like BC, a
+  multi-phase traversal expressed through the round protocol.
+
+Both need the membership flags resident for random target lookups, so
+the flag vector is accounted as WA alongside the counters (as with the
+cross-edges kernel).
+"""
+
+import numpy as np
+
+from repro.core.kernels.base import (
+    ALL_PAGES,
+    Kernel,
+    PageWork,
+    RoundPlan,
+    edge_expand,
+)
+from repro.errors import ConfigurationError
+from repro.format.page import PageKind
+
+
+class _InducedState:
+    def __init__(self, db, member):
+        self.member = member
+        self.internal_degree = np.zeros(db.num_vertices, dtype=np.int64)
+        self.num_edges = 0
+        self.edges = []
+        self.done = False
+
+
+class InducedSubgraphKernel(Kernel):
+    """Edges of the subgraph induced by a vertex set, in one scan."""
+
+    name = "InducedSubgraph"
+    traversal = False
+    wa_bytes_per_vertex = 5       # member flag (1 B) + counter (4 B)
+    ra_bytes_per_vertex = 0
+    cycles_per_lane_step = 16.0
+
+    def __init__(self, vertex_set, collect_edges=False):
+        self.vertex_set = np.asarray(vertex_set)
+        if self.vertex_set.dtype != bool and self.vertex_set.ndim != 1:
+            raise ConfigurationError(
+                "vertex_set must be a boolean mask or an ID list")
+        #: Collecting the actual edge list costs host memory; counting
+        #: alone keeps WA at the documented footprint.
+        self.collect_edges = collect_edges
+
+    def _membership_mask(self, num_vertices):
+        if self.vertex_set.dtype == bool:
+            if len(self.vertex_set) != num_vertices:
+                raise ConfigurationError(
+                    "membership mask covers %d vertices, graph has %d"
+                    % (len(self.vertex_set), num_vertices))
+            return self.vertex_set.copy()
+        mask = np.zeros(num_vertices, dtype=bool)
+        ids = self.vertex_set.astype(np.int64)
+        if len(ids) and (ids.min() < 0 or ids.max() >= num_vertices):
+            raise ConfigurationError("vertex ID outside the graph")
+        mask[ids] = True
+        return mask
+
+    def init_state(self, db):
+        return _InducedState(db, self._membership_mask(db.num_vertices))
+
+    def next_round(self, state):
+        if state.done:
+            return None
+        return RoundPlan(pids=ALL_PAGES, description="induced scan")
+
+    def finish_round(self, state, merged_next_pids):
+        state.done = True
+
+    def results(self, state):
+        results = {
+            "member": state.member.copy(),
+            "internal_degree": state.internal_degree.copy(),
+            "num_induced_edges": np.asarray([state.num_edges]),
+        }
+        if self.collect_edges:
+            results["edges"] = (np.asarray(state.edges, dtype=np.int64)
+                                if state.edges
+                                else np.empty((0, 2), dtype=np.int64))
+        return results
+
+    # ------------------------------------------------------------------
+    def _scan(self, page, state, ctx):
+        active = state.member[page.vids()]
+        targets, _, _, sources_idx = edge_expand(page, active)
+        inside = state.member[targets]
+        kept_targets = targets[inside]
+        state.num_edges += int(len(kept_targets))
+        if page.kind is PageKind.SMALL:
+            source_vids = page.vids()[sources_idx[inside]]
+        else:
+            source_vids = np.full(len(kept_targets), page.vid,
+                                  dtype=np.int64)
+        np.add.at(state.internal_degree, source_vids, 1)
+        if self.collect_edges:
+            state.edges.extend(zip(source_vids.tolist(),
+                                   kept_targets.tolist()))
+        return PageWork(
+            num_records=page.num_records,
+            active_vertices=int(active.sum()),
+            edges_traversed=page.num_edges,
+            lane_steps=ctx.lane_steps(page.degrees()),
+        )
+
+    def process_sp(self, page, state, ctx):
+        return self._scan(page, state, ctx)
+
+    def process_lp(self, page, state, ctx):
+        return self._scan(page, state, ctx)
+
+
+class _EgonetState(_InducedState):
+    def __init__(self, db, ego):
+        member = np.zeros(db.num_vertices, dtype=bool)
+        member[ego] = True
+        super().__init__(db, member)
+        self.db = db
+        self.ego = ego
+        self.phase = "expand"
+        self.ego_pids = np.asarray([db.page_for_vertex(ego)],
+                                   dtype=np.int64)
+
+
+class EgonetKernel(InducedSubgraphKernel):
+    """The ego vertex, its out-neighbours, and all edges among them."""
+
+    name = "Egonet"
+    traversal = True
+
+    def __init__(self, ego_vertex=0, collect_edges=False):
+        super().__init__(np.zeros(0, dtype=np.int64),
+                         collect_edges=collect_edges)
+        if ego_vertex < 0:
+            raise ConfigurationError("ego vertex must be nonnegative")
+        self.ego_vertex = ego_vertex
+
+    def init_state(self, db):
+        if self.ego_vertex >= db.num_vertices:
+            raise ConfigurationError(
+                "ego vertex %d outside graph of %d vertices"
+                % (self.ego_vertex, db.num_vertices))
+        return _EgonetState(db, self.ego_vertex)
+
+    def next_round(self, state):
+        if state.phase == "expand":
+            return RoundPlan(pids=state.ego_pids,
+                             description="ego expansion")
+        if state.phase == "scan":
+            return RoundPlan(pids=ALL_PAGES, description="egonet scan")
+        return None
+
+    def finish_round(self, state, merged_next_pids):
+        if state.phase == "expand":
+            state.phase = "scan"
+        else:
+            state.phase = "done"
+
+    # ------------------------------------------------------------------
+    def _expand(self, page, state, ctx):
+        active = page.vids() == state.ego
+        targets, _, _, _ = edge_expand(page, active)
+        state.member[targets] = True
+        return PageWork(
+            num_records=page.num_records,
+            active_vertices=int(active.sum()),
+            edges_traversed=int(len(targets)),
+            lane_steps=ctx.lane_steps(page.degrees(), active),
+            next_pids=np.empty(0, dtype=np.int64),
+        )
+
+    def process_sp(self, page, state, ctx):
+        if state.phase == "expand":
+            return self._expand(page, state, ctx)
+        return self._scan(page, state, ctx)
+
+    def process_lp(self, page, state, ctx):
+        if state.phase == "expand":
+            return self._expand(page, state, ctx)
+        return self._scan(page, state, ctx)

@@ -1,0 +1,123 @@
+"""Single-Source Shortest Path kernels (BFS-like family, Appendix D).
+
+Level-synchronous Bellman–Ford: each round relaxes the out-edges of every
+vertex whose distance improved in the previous round, and the next round's
+``nextPIDSet`` is the set of pages holding vertices whose tentative
+distance an update may have lowered.  Reads use the distance snapshot
+committed at the end of the previous round (``dist_prev``), so updates are
+commutative mins and results are independent of page/GPU order.
+
+WA is the distance vector (4 bytes per vertex, Table 4).  Edge weights
+come from the slotted pages (the database must be built from a weighted
+graph with ``weight_bytes > 0`` in its format config); unweighted
+databases fall back to unit weights, making SSSP coincide with BFS depth.
+"""
+
+import numpy as np
+
+from repro.core.kernels.base import Kernel, PageWork, RoundPlan, edge_expand
+from repro.errors import ConfigurationError
+
+INFINITY = np.float32(np.inf)
+
+
+class _SSSPState:
+    def __init__(self, db, start_vertex):
+        self.db = db
+        self.dist = np.full(db.num_vertices, INFINITY, dtype=np.float32)
+        self.dist[start_vertex] = 0.0
+        # Snapshot read within a round (BSP semantics).
+        self.dist_prev = self.dist.copy()
+        self.frontier = np.zeros(db.num_vertices, dtype=bool)
+        self.frontier[start_vertex] = True
+        self.frontier_pids = np.asarray(
+            [db.page_for_vertex(start_vertex)], dtype=np.int64)
+        self.round_index = 0
+
+
+class SSSPKernel(Kernel):
+    """Level-synchronous single-source shortest paths."""
+
+    name = "SSSP"
+    traversal = True
+    wa_bytes_per_vertex = 4       # distance vector (Table 4)
+    ra_bytes_per_vertex = 0
+    cycles_per_lane_step = 40.0   # compare + atomicMin on floats
+
+    def __init__(self, start_vertex=0, max_rounds=None):
+        if start_vertex < 0:
+            raise ConfigurationError("start vertex must be nonnegative")
+        self.start_vertex = start_vertex
+        #: Safety valve for graphs with negative cycles; None = no limit
+        #: (weights produced by our generators are positive).
+        self.max_rounds = max_rounds
+
+    def init_state(self, db):
+        if self.start_vertex >= db.num_vertices:
+            raise ConfigurationError(
+                "start vertex %d outside graph of %d vertices"
+                % (self.start_vertex, db.num_vertices))
+        return _SSSPState(db, self.start_vertex)
+
+    def next_round(self, state):
+        if len(state.frontier_pids) == 0:
+            return None
+        if self.max_rounds is not None and state.round_index >= self.max_rounds:
+            return None
+        return RoundPlan(pids=state.frontier_pids,
+                         description="relaxation round %d" % state.round_index)
+
+    def finish_round(self, state, merged_next_pids):
+        state.round_index += 1
+        improved = state.dist < state.dist_prev
+        state.frontier = improved
+        state.dist_prev = state.dist.copy()
+        if merged_next_pids is None:
+            merged_next_pids = np.empty(0, dtype=np.int64)
+        # Keep only pages that actually contain an improved vertex; the
+        # per-page next_pids over-approximate (a candidate distance may
+        # lose the min race to a better one from another page).
+        if len(merged_next_pids):
+            db = state.db
+            keep = []
+            for pid in merged_next_pids:
+                page = db.page(int(pid))
+                vids = page.vids()
+                if improved[vids].any():
+                    keep.append(pid)
+            merged_next_pids = np.asarray(keep, dtype=np.int64)
+        state.frontier_pids = merged_next_pids
+
+    def results(self, state):
+        return {"distance": state.dist.copy()}
+
+    # ------------------------------------------------------------------
+    def _relax(self, page, state, ctx, active_mask, source_dists):
+        targets, target_pids, weights, sources_idx = edge_expand(
+            page, active_mask)
+        if weights is None:
+            weights = np.ones(len(targets), dtype=np.float32)
+        candidates = source_dists[sources_idx] + weights
+        better = candidates < state.dist[targets]
+        # Commutative min update; np.minimum.at handles duplicate targets.
+        np.minimum.at(state.dist, targets[better], candidates[better])
+        next_pids = np.unique(target_pids[better])
+        return PageWork(
+            num_records=page.num_records,
+            active_vertices=int(active_mask.sum()),
+            edges_traversed=int(len(targets)),
+            lane_steps=ctx.lane_steps(page.degrees(), active_mask),
+            next_pids=next_pids,
+        )
+
+    def process_sp(self, page, state, ctx):
+        vids = page.vids()
+        active = state.frontier[vids]
+        source_dists = state.dist_prev[vids]
+        return self._relax(page, state, ctx, active, source_dists)
+
+    def process_lp(self, page, state, ctx):
+        active = np.asarray([state.frontier[page.vid]])
+        source_dists = np.asarray([state.dist_prev[page.vid]],
+                                  dtype=np.float32)
+        return self._relax(page, state, ctx, active, source_dists)

@@ -1,0 +1,122 @@
+"""Micro-level parallel processing models (Section 6.2 and Appendix E).
+
+GTS's macro-level contribution is page streaming; *within* a page the GPU
+kernel can parallelise over the page's vertices and edges in different
+ways.  The paper considers three techniques and evaluates them in
+Figure 14:
+
+* **edge-centric** (the VWC technique of Hong et al., PPoPP 2011): the 32
+  threads of a (virtual) warp cooperatively walk one vertex's adjacency
+  list.  A vertex of degree ``d`` occupies its warp for ``ceil(d / 32)``
+  steps, so lane-steps (thread-cycles) are ``32 * ceil(d / 32)`` — there
+  is some ALU waste on the last partial step but load balance is good.
+* **vertex-centric**: one thread per vertex walks the whole adjacency
+  list.  A warp of 32 consecutive vertices runs for ``max(d)`` steps
+  (SIMT lock-step), so a single high-degree vertex stalls 31 lanes — this
+  is the load imbalance that makes vertex-centric collapse on dense
+  pages.
+* **hybrid**: pick per page whichever of the two models is cheaper for
+  that page's density (the paper applies "a different micro-level
+  technique to each page depending on the density of the page").
+
+These functions compute *lane-steps*: total thread-cycles consumed across
+the device's lanes.  The GPU spec converts lane-steps to seconds.  All
+inputs are the page's actual per-record degrees (with inactive records
+contributing a scan check), so Figure 14's crossover emerges from the real
+degree distribution rather than from fitted curves.
+"""
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: SIMT width: threads per (virtual) warp.
+WARP_SIZE = 32
+
+
+class MicroTechnique(enum.Enum):
+    """Which intra-page parallelisation model the kernel uses."""
+
+    VERTEX_CENTRIC = "vertex"
+    EDGE_CENTRIC = "edge"
+    HYBRID = "hybrid"
+
+    @classmethod
+    def parse(cls, value):
+        """Accept an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ConfigurationError("unknown micro technique %r" % (value,))
+
+
+def edge_centric_lane_steps(active_degrees, num_records):
+    """Lane-steps under the VWC / edge-centric model.
+
+    ``active_degrees`` are the adjacency-list sizes of the records whose
+    vertex actually does work this round (for PageRank-like kernels that
+    is every record; for BFS-like kernels only the frontier).  Every
+    record, active or not, costs one warp-step for the level check
+    (Algorithm 2 scans all records in the page).
+    """
+    active_degrees = np.asarray(active_degrees, dtype=np.int64)
+    expand = WARP_SIZE * np.ceil(active_degrees / WARP_SIZE).sum()
+    scan = WARP_SIZE * np.ceil(num_records / WARP_SIZE)
+    return float(expand + scan)
+
+
+def vertex_centric_lane_steps(degrees, active_mask=None):
+    """Lane-steps under the vertex-centric model.
+
+    Records are grouped into warps of 32 consecutive slots; each warp
+    runs for the *maximum* active degree among its lanes, and all 32
+    lanes are occupied for that long.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if active_mask is not None:
+        degrees = np.where(np.asarray(active_mask, dtype=bool), degrees, 0)
+    if len(degrees) == 0:
+        return 0.0
+    pad = (-len(degrees)) % WARP_SIZE
+    if pad:
+        degrees = np.concatenate(
+            [degrees, np.zeros(pad, dtype=np.int64)])
+    per_warp_max = degrees.reshape(-1, WARP_SIZE).max(axis=1)
+    # Each warp does at least the one-step scan of its records.
+    per_warp_max = np.maximum(per_warp_max, 1)
+    return float(WARP_SIZE * per_warp_max.sum())
+
+
+def lane_steps(technique, degrees, active_mask=None):
+    """Lane-steps for one page under ``technique``.
+
+    Parameters
+    ----------
+    technique:
+        A :class:`MicroTechnique` (or its string value).
+    degrees:
+        Per-record adjacency sizes for the whole page, in slot order.
+    active_mask:
+        Boolean mask of records doing real work this round; ``None``
+        means all records are active (PageRank-like full scans).
+    """
+    technique = MicroTechnique.parse(technique)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if active_mask is None:
+        active_degrees = degrees
+    else:
+        active_degrees = degrees[np.asarray(active_mask, dtype=bool)]
+
+    if technique is MicroTechnique.EDGE_CENTRIC:
+        return edge_centric_lane_steps(active_degrees, len(degrees))
+    if technique is MicroTechnique.VERTEX_CENTRIC:
+        return vertex_centric_lane_steps(degrees, active_mask)
+    # Hybrid: whichever model is cheaper for this page's shape.
+    return min(
+        edge_centric_lane_steps(active_degrees, len(degrees)),
+        vertex_centric_lane_steps(degrees, active_mask),
+    )

@@ -1,0 +1,106 @@
+"""Run results: algorithm output plus simulated performance counters."""
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class RoundStats:
+    """Counters for one engine round (one BFS level / one PR iteration)."""
+
+    round_index: int
+    description: str
+    pages_dispatched: int = 0
+    pages_from_cache: int = 0
+    pages_from_buffer: int = 0
+    pages_from_storage: int = 0
+    bytes_streamed: int = 0
+    edges_traversed: int = 0
+    active_vertices: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    @property
+    def elapsed(self):
+        return self.end_time - self.start_time
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything a :class:`~repro.core.engine.GTSEngine` run produces.
+
+    ``values`` holds the algorithm's output vectors (e.g. ``{"level": ...}``
+    for BFS, ``{"rank": ...}`` for PageRank).  ``elapsed_seconds`` is the
+    *simulated* wall-clock of the run on the configured machine — the
+    quantity the paper's figures plot.  ``wall_seconds`` is the real time
+    this process spent computing, reported separately so nobody mistakes
+    one for the other.
+    """
+
+    algorithm: str
+    dataset: str
+    values: Dict[str, np.ndarray]
+    elapsed_seconds: float
+    wall_seconds: float
+    num_rounds: int
+    rounds: List[RoundStats]
+    pages_streamed: int = 0
+    bytes_streamed: int = 0
+    storage_bytes_read: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    mm_buffer_hits: int = 0
+    mm_buffer_misses: int = 0
+    transfer_busy_seconds: float = 0.0
+    kernel_busy_seconds: float = 0.0
+    #: Sum of per-stream kernel occupancy (what a Figure 4-style stream
+    #: profile shows); exceeds ``kernel_busy_seconds`` because one kernel
+    #: alone underutilises the device.
+    kernel_stream_seconds: float = 0.0
+    kernel_invocations: int = 0
+    edges_traversed: int = 0
+    num_gpus: int = 1
+    num_streams: int = 1
+    strategy: str = ""
+    engine: str = "GTS"
+    notes: Optional[str] = None
+    #: Figure 4-style ASCII stream timeline (populated when the engine
+    #: runs with ``tracing=True``).
+    timeline: Optional[str] = None
+
+    @property
+    def cache_hit_rate(self):
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def transfer_to_kernel_ratio(self):
+        """The paper's Table 1 quantity: transfer time : kernel time.
+
+        Returned as a single float ``transfer / kernel`` so ``0.33`` reads
+        as the paper's "1:3" and ``2.0`` as "2:1".  Kernel time here is
+        device-level busy time (true kernel work at the aggregate rate);
+        ``kernel_stream_seconds`` holds the per-stream occupancy view.
+        """
+        if self.kernel_busy_seconds <= 0:
+            return float("inf") if self.transfer_busy_seconds > 0 else 0.0
+        return self.transfer_busy_seconds / self.kernel_busy_seconds
+
+    def mteps(self):
+        """Millions of traversed edges per simulated second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.edges_traversed / self.elapsed_seconds / 1e6
+
+    def summary(self):
+        """One-line report used by examples and benches."""
+        return (
+            "%s on %s [%s, %d GPU(s), %d stream(s)]: %.6f s simulated, "
+            "%d rounds, %d pages streamed, cache hit rate %.1f%%"
+            % (self.algorithm, self.dataset, self.strategy or self.engine,
+               self.num_gpus, self.num_streams, self.elapsed_seconds,
+               self.num_rounds, self.pages_streamed,
+               100.0 * self.cache_hit_rate)
+        )

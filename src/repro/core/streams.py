@@ -1,0 +1,71 @@
+"""Asynchronous multi-stream dispatch (Section 3.2, Figure 3).
+
+GTS assigns topology pages to GPU streams round-robin; within a stream
+the copy and the kernel serialize, while across streams kernels overlap
+(bounded by the GPU's aggregate compute capacity) and copies contend on
+the single host-to-device copy engine.  :class:`StreamScheduler` owns
+exactly that booking logic, so the engine's round loop stays about
+*what* to dispatch and this module about *when* it runs.
+"""
+
+from repro.errors import ConfigurationError
+
+
+class StreamScheduler:
+    """Books per-page transfer and kernel activities on one machine run.
+
+    Parameters
+    ----------
+    runtime:
+        The :class:`~repro.hardware.machine.MachineRuntime` whose GPU
+        timelines are booked.
+    """
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self._dispatch_count = [0] * runtime.num_gpus
+
+    def _next_slot(self, gpu):
+        """Round-robin stream assignment, as in Figure 3."""
+        index = self._dispatch_count[gpu.index] % gpu.num_streams
+        self._dispatch_count[gpu.index] += 1
+        return gpu.streams.slots[index]
+
+    def dispatch_cached(self, gpu_index, earliest, lane_steps,
+                        cycles_per_lane_step):
+        """Book a kernel for a page already resident in the GPU cache
+        (Algorithm 1 line 17: no transfer).  Returns the kernel end."""
+        gpu = self.runtime.gpus[gpu_index]
+        slot = self._next_slot(gpu)
+        start = max(earliest, slot.available_at)
+        return gpu.book_kernel(slot, start, lane_steps,
+                               cycles_per_lane_step)
+
+    def dispatch_streamed(self, gpu_index, ready_time, copy_bytes,
+                          lane_steps, cycles_per_lane_step):
+        """Book the async copy + kernel pair for a page being streamed
+        (Algorithm 1 lines 19-21 / 24-26).
+
+        ``ready_time`` is when the page's bytes are available in main
+        memory (after any SSD fetch).  The copy starts once the page is
+        ready, the stream's previous work is done, and the copy engine
+        frees up; the kernel follows the copy on the same stream.
+        Returns ``(copy_end, kernel_end)``.
+        """
+        if copy_bytes < 0:
+            raise ConfigurationError("copy_bytes cannot be negative")
+        gpu = self.runtime.gpus[gpu_index]
+        slot = self._next_slot(gpu)
+        earliest = max(ready_time, slot.available_at)
+        _, copy_end = gpu.copy_engine.book(
+            earliest, self.runtime.pcie.stream_copy_time(copy_bytes))
+        gpu.bytes_received += copy_bytes
+        kernel_end = gpu.book_kernel(slot, copy_end, lane_steps,
+                                     cycles_per_lane_step)
+        return copy_end, kernel_end
+
+    def dispatched_pages(self, gpu_index=None):
+        """How many pages have been dispatched (per GPU or total)."""
+        if gpu_index is None:
+            return sum(self._dispatch_count)
+        return self._dispatch_count[gpu_index]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the GTS reproduction.
+
+Every error raised by this package derives from :class:`GTSError` so that
+callers can catch reproduction-specific failures without masking bugs.
+"""
+
+
+class GTSError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(GTSError):
+    """A slotted-page format constraint was violated.
+
+    Raised, for example, when a record is too large for the configured page
+    size, when a vertex or page identifier exceeds the addressing width, or
+    when a serialized page fails to decode.
+    """
+
+
+class CapacityError(GTSError):
+    """A simulated hardware capacity was exceeded.
+
+    This mirrors the paper's ``O.O.M.`` outcomes: an engine that cannot fit
+    its working set in the configured (simulated) memory raises this error
+    instead of producing a result.
+    """
+
+    def __init__(self, message, required_bytes=None, available_bytes=None):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.available_bytes = available_bytes
+
+
+class OutOfMemoryError(CapacityError):
+    """The working set of an engine exceeded the configured memory budget."""
+
+
+class ConfigurationError(GTSError):
+    """An engine or hardware component was configured inconsistently."""
+
+
+class SimulationError(GTSError):
+    """The discrete-event simulation reached an inconsistent state."""

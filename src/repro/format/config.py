@@ -1,0 +1,171 @@
+"""Slotted-page format configuration: addressing widths and page size.
+
+The original slotted page format (Han et al., KDD 2013) uses a 4-byte
+physical record ID: a 2-byte page ID (``ADJ_PID``) and a 2-byte slot number
+(``ADJ_OFF``).  Section 6.1 of the GTS paper generalises this to ``p``-byte
+page IDs and ``q``-byte slot numbers so that trillion-scale graphs can be
+addressed, and Table 2 works through the three balanced configurations of a
+6-byte physical ID.  This module reproduces that arithmetic exactly.
+
+A page's byte layout is::
+
+    +-------------------------------------------------------------+
+    | record 0 | record 1 | ...      free space      ... | slot 1 | slot 0 |
+    +-------------------------------------------------------------+
+
+Records grow forward from the start of the page and slots grow backward from
+the end (Section 2).  A slot is ``(VID, OFF)`` and a record is
+``(ADJLIST_SZ, ADJLIST)`` where each adjacency entry is a physical ID of
+``p + q`` bytes.
+"""
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+@dataclasses.dataclass(frozen=True)
+class PageFormatConfig:
+    """Widths and sizes defining a slotted-page layout.
+
+    Parameters
+    ----------
+    page_id_bytes:
+        ``p`` — bytes used for the page-ID half of a physical record ID.
+    slot_bytes:
+        ``q`` — bytes used for the slot-number half of a physical record ID.
+    page_size:
+        Size of every slotted page in bytes.  The paper uses 64 MB for its
+        ``(3, 3)`` configuration; scaled-down experiments in this repo use
+        much smaller pages (see ``repro.bench.datasets``).
+    vid_bytes:
+        Width of a logical vertex ID stored in a slot.  The paper's Table 2
+        assumes 6 bytes.
+    offset_bytes:
+        Width of the record-offset field stored in a slot (paper: 4 bytes).
+    adjlist_size_bytes:
+        Width of the ``ADJLIST_SZ`` field leading each record (paper: 4).
+    weight_bytes:
+        Bytes per adjacency entry reserved for an edge weight, 0 for
+        unweighted topology.  SSSP experiments use 4-byte weights.
+    """
+
+    page_id_bytes: int = 2
+    slot_bytes: int = 2
+    page_size: int = 64 * MB
+    vid_bytes: int = 6
+    offset_bytes: int = 4
+    adjlist_size_bytes: int = 4
+    weight_bytes: int = 0
+
+    def __post_init__(self):
+        if self.page_id_bytes < 1 or self.slot_bytes < 1:
+            raise ConfigurationError("physical ID widths must be >= 1 byte")
+        if self.page_size <= self.min_page_bytes():
+            raise ConfigurationError(
+                "page_size %d is too small to hold a single minimal record"
+                % self.page_size
+            )
+
+    # ------------------------------------------------------------------
+    # Derived widths
+    # ------------------------------------------------------------------
+    @property
+    def record_id_bytes(self):
+        """Width of one physical record ID (``p + q`` bytes)."""
+        return self.page_id_bytes + self.slot_bytes
+
+    @property
+    def adjacency_entry_bytes(self):
+        """Bytes per adjacency-list entry: a physical ID plus any weight."""
+        return self.record_id_bytes + self.weight_bytes
+
+    @property
+    def slot_entry_bytes(self):
+        """Bytes per slot: logical VID plus the record offset."""
+        return self.vid_bytes + self.offset_bytes
+
+    @property
+    def max_page_id(self):
+        """Largest addressable page ID (exclusive), ``2 ** (8 p)``."""
+        return 1 << (8 * self.page_id_bytes)
+
+    @property
+    def max_slot_number(self):
+        """Largest addressable slot number (exclusive), ``2 ** (8 q)``."""
+        return 1 << (8 * self.slot_bytes)
+
+    @property
+    def max_vertex_id(self):
+        """Largest representable logical vertex ID (exclusive)."""
+        return 1 << (8 * self.vid_bytes)
+
+    def min_page_bytes(self):
+        """Bytes consumed by one minimal record (degree 1) plus its slot.
+
+        This is the per-slot cost Table 2 multiplies by the maximum slot
+        count to obtain the theoretical maximum page size.
+        """
+        record = self.adjlist_size_bytes + self.adjacency_entry_bytes
+        return record + self.slot_entry_bytes
+
+    def theoretical_max_page_size(self):
+        """The Table 2 "max. page size" column for this configuration.
+
+        The paper computes it as the maximum number of slots times the cost
+        of one minimal (degree-1) record plus its slot: with ``VID`` of
+        6 bytes, ``OFF`` of 4 bytes, ``ADJLIST_SZ`` of 4 bytes and a 6-byte
+        physical ID this is 20 bytes per slot, giving 80 GB / 320 MB /
+        1.25 MB for ``(2,4)`` / ``(3,3)`` / ``(4,2)``.
+        """
+        return self.max_slot_number * self.min_page_bytes()
+
+    # ------------------------------------------------------------------
+    # Capacity helpers used by the builder
+    # ------------------------------------------------------------------
+    def record_bytes(self, degree):
+        """Bytes of the record for a vertex with ``degree`` neighbours."""
+        return self.adjlist_size_bytes + degree * self.adjacency_entry_bytes
+
+    def vertex_bytes(self, degree):
+        """Record plus slot bytes for a vertex with ``degree`` neighbours."""
+        return self.record_bytes(degree) + self.slot_entry_bytes
+
+    def max_degree_in_one_page(self):
+        """Largest adjacency list that still fits in a single (small) page.
+
+        Vertices with more neighbours than this become large-page vertices.
+        """
+        available = self.page_size - self.slot_entry_bytes - self.adjlist_size_bytes
+        return available // self.adjacency_entry_bytes
+
+    def large_page_capacity(self):
+        """Adjacency entries one large page can hold for its single vertex."""
+        return self.max_degree_in_one_page()
+
+    def describe(self):
+        """One-line human-readable summary, used by benches and examples."""
+        return (
+            "(p=%d, q=%d) page_size=%d vid=%dB off=%dB adjsz=%dB weight=%dB"
+            % (
+                self.page_id_bytes,
+                self.slot_bytes,
+                self.page_size,
+                self.vid_bytes,
+                self.offset_bytes,
+                self.adjlist_size_bytes,
+                self.weight_bytes,
+            )
+        )
+
+
+#: The three 6-byte physical ID configurations of the paper's Table 2.
+#: Page sizes here are the *theoretical maxima* from the table; actual
+#: deployments choose a page size at or below the maximum (the paper picks
+#: 64 MB pages under (3, 3)).
+SIX_BYTE_CONFIGS = {
+    (2, 4): PageFormatConfig(page_id_bytes=2, slot_bytes=4, page_size=64 * MB),
+    (3, 3): PageFormatConfig(page_id_bytes=3, slot_bytes=3, page_size=64 * MB),
+    (4, 2): PageFormatConfig(page_id_bytes=4, slot_bytes=2, page_size=1 * MB),
+}

@@ -1,0 +1,48 @@
+"""Graph generation and in-memory graph containers.
+
+The paper evaluates on R-MAT synthetic graphs (RMAT27–RMAT32, 1:16
+vertex-to-edge ratio) and three real graphs (Twitter, UK2007, YahooWeb).
+This subpackage provides:
+
+* :class:`~repro.graphgen.graph.Graph` — an immutable CSR container shared
+  by the slotted-page builder, the baselines, and the reference algorithms.
+* :func:`~repro.graphgen.rmat.generate_rmat` — the recursive-matrix
+  generator of Chakrabarti et al. (SDM 2004), seedable and vectorised.
+* :mod:`~repro.graphgen.random_graphs` — Erdős–Rényi and regular-ring
+  generators used by tests and ablations.
+* :mod:`~repro.graphgen.realworld` — scaled-down synthetic stand-ins for
+  Twitter / UK2007 / YahooWeb that match those graphs' distinguishing
+  shapes (degree skew, density, diameter class).
+"""
+
+from repro.graphgen.graph import Graph
+from repro.graphgen.rmat import generate_rmat, RMATParameters
+from repro.graphgen.random_graphs import generate_erdos_renyi, generate_ring
+from repro.graphgen.realworld import (
+    generate_twitter_like,
+    generate_uk2007_like,
+    generate_yahooweb_like,
+)
+from repro.graphgen.degree import (
+    DegreeSummary,
+    degree_histogram,
+    gini_coefficient,
+    power_law_exponent,
+    summarize_degrees,
+)
+
+__all__ = [
+    "Graph",
+    "generate_rmat",
+    "RMATParameters",
+    "generate_erdos_renyi",
+    "generate_ring",
+    "generate_twitter_like",
+    "generate_uk2007_like",
+    "generate_yahooweb_like",
+    "DegreeSummary",
+    "degree_histogram",
+    "gini_coefficient",
+    "power_law_exponent",
+    "summarize_degrees",
+]

@@ -1,0 +1,113 @@
+"""Graph input/output: edge-list text and binary formats.
+
+Real deployments ingest graphs from files (the paper converts each
+dataset into the slotted page format offline).  This module reads and
+writes two interchange formats:
+
+* **edge-list text** — one ``src dst [weight]`` pair per line, ``#``
+  comments allowed; the format Twitter/UK2007/YahooWeb snapshots ship in.
+* **binary edge list** — little-endian ``int64`` pairs (plus ``float32``
+  weights when present) with a small header; ~10x faster to load.
+"""
+
+import struct
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.graphgen.graph import Graph
+
+#: Magic bytes identifying the binary edge-list format.
+_BINARY_MAGIC = b"GTSE"
+_BINARY_VERSION = 1
+
+
+def write_edge_list(graph, path, include_weights=True):
+    """Write a graph as ``src dst [weight]`` text lines."""
+    sources, targets = graph.edge_list()
+    weighted = include_weights and graph.weights is not None
+    with open(path, "w") as handle:
+        handle.write("# %d vertices, %d edges\n"
+                     % (graph.num_vertices, graph.num_edges))
+        if weighted:
+            for s, t, w in zip(sources, targets, graph.weights):
+                handle.write("%d %d %.6g\n" % (s, t, w))
+        else:
+            for s, t in zip(sources, targets):
+                handle.write("%d %d\n" % (s, t))
+
+
+def read_edge_list(path, num_vertices=None):
+    """Read a ``src dst [weight]`` text file into a :class:`Graph`.
+
+    When ``num_vertices`` is omitted, it is inferred as ``max id + 1``.
+    Lines starting with ``#`` or ``%`` (Matrix Market style) are skipped.
+    """
+    sources = []
+    targets = []
+    weights = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise FormatError(
+                    "%s:%d: expected 'src dst [weight]'" % (path,
+                                                            line_number))
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            if len(parts) >= 3:
+                weights.append(float(parts[2]))
+    if weights and len(weights) != len(sources):
+        raise FormatError(
+            "%s: some lines have weights and some do not" % path)
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if num_vertices is None:
+        num_vertices = int(max(sources.max(initial=-1),
+                               targets.max(initial=-1))) + 1
+        num_vertices = max(num_vertices, 1)
+    return Graph.from_edges(
+        num_vertices, sources, targets,
+        weights=np.asarray(weights, dtype=np.float32) if weights else None)
+
+
+def write_binary(graph, path):
+    """Write the compact binary edge-list format."""
+    sources, targets = graph.edge_list()
+    weighted = graph.weights is not None
+    with open(path, "wb") as handle:
+        handle.write(_BINARY_MAGIC)
+        handle.write(struct.pack("<HHqq", _BINARY_VERSION,
+                                 1 if weighted else 0,
+                                 graph.num_vertices, graph.num_edges))
+        handle.write(sources.astype("<i8").tobytes())
+        handle.write(targets.astype("<i8").tobytes())
+        if weighted:
+            handle.write(graph.weights.astype("<f4").tobytes())
+
+
+def read_binary(path):
+    """Read the compact binary edge-list format back into a Graph."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _BINARY_MAGIC:
+            raise FormatError("%s: not a GTS binary edge list" % path)
+        version, weighted, num_vertices, num_edges = struct.unpack(
+            "<HHqq", handle.read(20))
+        if version != _BINARY_VERSION:
+            raise FormatError(
+                "%s: unsupported binary version %d" % (path, version))
+        sources = np.frombuffer(
+            handle.read(8 * num_edges), dtype="<i8").astype(np.int64)
+        targets = np.frombuffer(
+            handle.read(8 * num_edges), dtype="<i8").astype(np.int64)
+        weights = None
+        if weighted:
+            weights = np.frombuffer(
+                handle.read(4 * num_edges), dtype="<f4").astype(np.float32)
+        if len(sources) != num_edges or len(targets) != num_edges:
+            raise FormatError("%s: truncated edge arrays" % path)
+    return Graph.from_edges(num_vertices, sources, targets, weights=weights)

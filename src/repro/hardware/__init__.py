@@ -1,0 +1,51 @@
+"""Simulated hardware: the machine GTS runs on, as a discrete-event model.
+
+The paper's testbed — Xeon CPUs, NVIDIA TITAN X GPUs with CUDA streams,
+Fusion-io PCI-E SSDs — is modelled here as a set of *timeline resources*:
+
+* :class:`~repro.hardware.clock.Resource` — an exclusive serialized device
+  (a GPU's host-to-device copy engine, one SSD's channel).
+* :class:`~repro.hardware.clock.SlotPool` — a pool of ``k`` parallel slots
+  (the ≤32 concurrent GPU streams).
+* Spec dataclasses in :mod:`~repro.hardware.specs` describing capacities
+  and rates (``c1`` chunk-copy and ``c2`` streaming-copy PCI-E rates, SSD
+  and HDD bandwidths, GPU device-memory sizes).
+* :class:`~repro.hardware.machine.MachineRuntime` — a fresh set of resource
+  timelines instantiated per engine run.
+
+Kernels *execute for real* in NumPy; this subpackage only answers "when
+would each transfer and kernel have finished on the paper's hardware",
+which is what the paper's elapsed-time figures measure.
+"""
+
+from repro.hardware.clock import Resource, SlotPool
+from repro.hardware.specs import (
+    GPUSpec,
+    PCIeSpec,
+    StorageSpec,
+    MachineSpec,
+    paper_workstation,
+    scaled_workstation,
+    SSD_SPEC,
+    HDD_SPEC,
+)
+from repro.hardware.storage import StorageArray
+from repro.hardware.memory import MainMemoryBuffer
+from repro.hardware.machine import MachineRuntime, GPURuntime
+
+__all__ = [
+    "Resource",
+    "SlotPool",
+    "GPUSpec",
+    "PCIeSpec",
+    "StorageSpec",
+    "MachineSpec",
+    "paper_workstation",
+    "scaled_workstation",
+    "SSD_SPEC",
+    "HDD_SPEC",
+    "StorageArray",
+    "MainMemoryBuffer",
+    "MachineRuntime",
+    "GPURuntime",
+]

@@ -1,0 +1,130 @@
+"""MachineRuntime: per-run resource timelines built from a MachineSpec.
+
+Spec objects are immutable and reusable; a :class:`MachineRuntime` carries
+the mutable simulation state for one engine run — copy-engine and stream
+timelines per GPU, storage channels, the main-memory buffer — plus the
+counters the result object reports.
+"""
+
+from repro.errors import ConfigurationError
+from repro.hardware.clock import Resource, SlotPool
+from repro.hardware.memory import MainMemoryBuffer
+from repro.hardware.storage import StorageArray
+
+
+class GPURuntime:
+    """Mutable per-run state of one GPU."""
+
+    def __init__(self, index, spec, num_streams, tracing=False):
+        self.index = index
+        self.spec = spec
+        effective_streams = min(num_streams, spec.max_concurrent_streams)
+        #: Host-to-device copies serialize on the copy engine (Section 3.2:
+        #: transfer operations cannot overlap each other, only kernels).
+        self.copy_engine = Resource("gpu%d:copy" % index, tracing=tracing)
+        #: Each stream serializes its own (copy, kernel) sequence; kernels
+        #: in different streams overlap.
+        self.streams = SlotPool("gpu%d:stream" % index, effective_streams,
+                                tracing=tracing)
+        #: Aggregate compute capacity: however many kernels overlap, total
+        #: device throughput cannot exceed ``effective_hz``.
+        self.compute = Resource("gpu%d:compute" % index)
+        self.kernel_invocations = 0
+        self.kernel_busy_time = 0.0
+        self.kernel_stream_time = 0.0
+        self.bytes_received = 0
+        self.allocated_bytes = 0
+
+    @property
+    def num_streams(self):
+        return self.streams.num_slots
+
+    def allocate(self, num_bytes, what):
+        """Account a device-memory allocation; raises on exhaustion."""
+        from repro.errors import OutOfMemoryError
+        if self.allocated_bytes + num_bytes > self.spec.device_memory:
+            raise OutOfMemoryError(
+                "GPU %d cannot allocate %d bytes for %s "
+                "(%d of %d bytes already allocated)"
+                % (self.index, num_bytes, what, self.allocated_bytes,
+                   self.spec.device_memory),
+                required_bytes=self.allocated_bytes + num_bytes,
+                available_bytes=self.spec.device_memory)
+        self.allocated_bytes += num_bytes
+
+    def free_device_memory(self):
+        return self.spec.device_memory - self.allocated_bytes
+
+    def book_kernel(self, slot, earliest, lane_steps, cycles_per_lane_step):
+        """Book one kernel invocation; returns its completion time.
+
+        The kernel is constrained twice: by its *stream* (serial within a
+        stream, at the single-stream underutilised rate) and by the GPU's
+        *aggregate compute capacity* (concurrent kernels cannot exceed the
+        device's total throughput).  The completion time is the later of
+        the two, and both timelines advance to it.
+        """
+        stream_duration = self.spec.kernel_stream_time(
+            lane_steps, cycles_per_lane_step)
+        device_duration = self.spec.kernel_device_time(
+            lane_steps, cycles_per_lane_step)
+        _, capacity_end = self.compute.book(earliest, device_duration)
+        _, stream_end = slot.book(earliest, stream_duration)
+        end = max(capacity_end, stream_end)
+        slot.available_at = end
+        self.kernel_invocations += 1
+        self.kernel_busy_time += device_duration
+        self.kernel_stream_time += stream_duration
+        return end
+
+    def done_at(self):
+        """Time when this GPU's queued work has fully drained."""
+        return max(self.copy_engine.available_at, self.streams.all_done_at())
+
+    def advance_to(self, time):
+        """Move all of this GPU's timelines forward to a barrier time."""
+        self.copy_engine.available_at = max(
+            self.copy_engine.available_at, time)
+        self.compute.available_at = max(self.compute.available_at, time)
+        for slot in self.streams.slots:
+            slot.available_at = max(slot.available_at, time)
+
+
+class MachineRuntime:
+    """All mutable simulation state for one engine run."""
+
+    def __init__(self, spec, num_streams=16, page_bytes=None,
+                 mm_buffer_bytes=None, tracing=False):
+        if num_streams < 1:
+            raise ConfigurationError("need at least one stream")
+        self.spec = spec
+        self.pcie = spec.pcie
+        self.tracing = tracing
+        self.gpus = [GPURuntime(i, gpu_spec, num_streams, tracing=tracing)
+                     for i, gpu_spec in enumerate(spec.gpus)]
+        self.storage = (StorageArray(spec.storages)
+                        if spec.storages else None)
+        page_bytes = page_bytes or 1
+        buffer_bytes = (mm_buffer_bytes if mm_buffer_bytes is not None
+                        else spec.main_memory)
+        buffer_bytes = min(buffer_bytes, spec.main_memory)
+        self.mm_buffer = MainMemoryBuffer(buffer_bytes, page_bytes)
+        #: Serialized host-side staging: copies of WA back to main memory.
+        self.host_bus = Resource("host:bus")
+        self.now = 0.0
+
+    @property
+    def num_gpus(self):
+        return len(self.gpus)
+
+    def barrier(self):
+        """Global synchronisation: advance ``now`` past all queued work."""
+        done = max(gpu.done_at() for gpu in self.gpus)
+        if self.storage is not None:
+            done = max(done, max(
+                ch.available_at for ch in self.storage.channels))
+        done = max(done, self.host_bus.available_at)
+        self.now = max(self.now, done)
+        for gpu in self.gpus:
+            gpu.advance_to(self.now)
+        return self.now

@@ -1,0 +1,66 @@
+"""Secondary storage: SSD/HDD devices with hash-striped page placement.
+
+Section 4.1: GTS stores page ``SP_j`` on device ``g(j)`` where ``g`` is a
+hash of the page ID (the mod function by default), and fetches pages from
+their device on demand.  Each device serializes its own reads; striping
+across devices multiplies aggregate fetch bandwidth, which is why two SSDs
+beat one in Figure 9.
+"""
+
+from repro.errors import CapacityError, SimulationError
+from repro.hardware.clock import Resource
+
+
+class StorageArray:
+    """A set of storage devices with pages striped across them."""
+
+    def __init__(self, specs, hash_function=None):
+        if not specs:
+            raise SimulationError("storage array needs at least one device")
+        self.specs = list(specs)
+        self.channels = [Resource("storage:%s" % spec.name) for spec in specs]
+        self._hash = hash_function or (lambda pid: pid % len(self.specs))
+        self.bytes_read = 0
+        self.pages_fetched = 0
+
+    @property
+    def num_devices(self):
+        return len(self.specs)
+
+    def device_for_page(self, page_id):
+        """The paper's ``g(j)``: which device holds page ``j``."""
+        device = self._hash(page_id)
+        if device < 0 or device >= len(self.specs):
+            raise SimulationError("hash function returned bad device index")
+        return device
+
+    def total_capacity(self):
+        return sum(spec.capacity for spec in self.specs)
+
+    def check_fits(self, num_bytes):
+        """Raise :class:`CapacityError` if a dataset exceeds the array."""
+        capacity = self.total_capacity()
+        if num_bytes > capacity:
+            raise CapacityError(
+                "dataset of %d bytes exceeds storage capacity %d"
+                % (num_bytes, capacity),
+                required_bytes=num_bytes, available_bytes=capacity)
+
+    def fetch(self, page_id, num_bytes, earliest):
+        """Book a page read; returns ``(start, end)`` simulated times."""
+        device = self.device_for_page(page_id)
+        duration = self.specs[device].read_time(num_bytes)
+        start, end = self.channels[device].book(earliest, duration)
+        self.bytes_read += num_bytes
+        self.pages_fetched += 1
+        return start, end
+
+    def aggregate_bandwidth(self):
+        """Sum of sequential-read bandwidths — the Section 4.1 bottleneck."""
+        return sum(spec.read_bandwidth for spec in self.specs)
+
+    def reset(self):
+        for channel in self.channels:
+            channel.reset()
+        self.bytes_read = 0
+        self.pages_fetched = 0

@@ -1,0 +1,70 @@
+"""ASCII timeline rendering: the reproduction of Figure 4.
+
+The paper profiles its streams and shows, per GPU stream, short transfer
+bars and long kernel bars ("the timeline for PageRank is denser than
+that for BFS since PageRank is computationally intensive").  With
+tracing enabled on a :class:`~repro.hardware.machine.MachineRuntime`,
+every copy-engine and stream-slot booking is recorded; this module
+renders those interval lists as a character Gantt chart:
+
+* ``=`` — kernel execution on a stream,
+* ``#`` — a host-to-device copy on the copy engine,
+* ``.`` — idle.
+"""
+
+from repro.units import format_seconds
+
+
+def render_lane(events, t0, t1, width, mark="="):
+    """Render one resource's ``(start, end)`` intervals as a lane."""
+    if t1 <= t0:
+        return "." * width
+    cells = ["."] * width
+    scale = width / (t1 - t0)
+    for start, end in events:
+        lo = int(max(0.0, (start - t0)) * scale)
+        hi = int(max(0.0, (end - t0)) * scale)
+        hi = min(width - 1, max(hi, lo))
+        for i in range(lo, hi + 1):
+            if i < width:
+                cells[i] = mark
+    return "".join(cells)
+
+
+def busy_fraction(events, t0, t1):
+    """Fraction of the window covered by intervals (no overlap assumed)."""
+    if t1 <= t0:
+        return 0.0
+    covered = sum(min(end, t1) - max(start, t0)
+                  for start, end in events
+                  if end > t0 and start < t1)
+    return max(0.0, covered) / (t1 - t0)
+
+
+def render_gpu_timeline(gpu, t0, t1, width=72, max_streams=16):
+    """Figure 4-style view of one GPU's copy engine and streams."""
+    if gpu.copy_engine.events is None:
+        raise ValueError(
+            "tracing was not enabled on this runtime "
+            "(pass tracing=True to MachineRuntime / the engine)")
+    lines = []
+    lines.append("GPU %d timeline over %s  ('#'=copy, '='=kernel)"
+                 % (gpu.index, format_seconds(t1 - t0)))
+    copy_lane = render_lane(gpu.copy_engine.events, t0, t1, width,
+                            mark="#")
+    lines.append("  copy engine  |%s| %4.0f%%"
+                 % (copy_lane,
+                    100 * busy_fraction(gpu.copy_engine.events, t0, t1)))
+    for slot in gpu.streams.slots[:max_streams]:
+        lane = render_lane(slot.events, t0, t1, width)
+        lines.append("  %-12s |%s| %4.0f%%"
+                     % (slot.name.split(":")[-1], lane,
+                        100 * busy_fraction(slot.events, t0, t1)))
+    return "\n".join(lines)
+
+
+def timeline_density(gpu, t0, t1):
+    """Mean stream busy-fraction — the paper's "denser" quantification."""
+    fractions = [busy_fraction(slot.events, t0, t1)
+                 for slot in gpu.streams.slots]
+    return sum(fractions) / len(fractions) if fractions else 0.0

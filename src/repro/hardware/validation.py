@@ -1,0 +1,100 @@
+"""Simulation self-checks: audit a finished run for DES invariants.
+
+A discrete-event model is only as trustworthy as its invariants.  This
+module inspects a traced :class:`~repro.hardware.machine.MachineRuntime`
+after a run and verifies the properties every correct schedule must
+satisfy:
+
+* **No overlap** — a serialized resource never runs two activities at
+  once (intervals on each copy engine / stream slot / SSD channel are
+  disjoint and ordered).
+* **Accounting** — a resource's ``busy_time`` equals the sum of its
+  recorded intervals.
+* **Causality** — no interval starts before time zero or ends after the
+  runtime's clock.
+* **Concurrency caps** — at no instant do more kernels run on a GPU
+  than it has stream slots.
+
+The engine exposes this through ``GTSEngine(validate_simulation=True)``,
+which enables tracing, runs the audit after every run, and raises
+:class:`~repro.errors.SimulationError` on any violation — the test
+suite's property tests lean on it.
+"""
+
+from repro.errors import SimulationError
+
+#: Slack for floating-point comparison of simulated times.
+_EPSILON = 1e-9
+
+
+def check_resource(resource, horizon=None):
+    """Validate one traced resource; returns the interval count."""
+    if resource.events is None:
+        raise SimulationError(
+            "resource %s was not traced; enable tracing to validate"
+            % resource.name)
+    previous_end = 0.0
+    busy = 0.0
+    for index, (start, end) in enumerate(resource.events):
+        if start < -_EPSILON:
+            raise SimulationError(
+                "%s: interval %d starts before time zero (%g)"
+                % (resource.name, index, start))
+        if end < start - _EPSILON:
+            raise SimulationError(
+                "%s: interval %d ends before it starts (%g > %g)"
+                % (resource.name, index, start, end))
+        if start < previous_end - _EPSILON:
+            raise SimulationError(
+                "%s: interval %d overlaps its predecessor "
+                "(starts %g, predecessor ends %g)"
+                % (resource.name, index, start, previous_end))
+        if horizon is not None and end > horizon + _EPSILON:
+            raise SimulationError(
+                "%s: interval %d ends at %g, after the clock's %g"
+                % (resource.name, index, end, horizon))
+        previous_end = max(previous_end, end)
+        busy += end - start
+    if abs(busy - resource.busy_time) > max(_EPSILON,
+                                            1e-6 * max(busy, 1e-12)):
+        raise SimulationError(
+            "%s: busy_time %g does not match interval sum %g"
+            % (resource.name, resource.busy_time, busy))
+    return len(resource.events)
+
+
+def check_gpu(gpu, horizon=None):
+    """Validate a GPU's copy engine and stream slots; returns counts."""
+    intervals = check_resource(gpu.copy_engine, horizon)
+    kernel_intervals = 0
+    events = []
+    for slot in gpu.streams.slots:
+        kernel_intervals += check_resource(slot, horizon)
+        events.extend(slot.events)
+    # Concurrency cap: sweep the combined kernel intervals.
+    boundary = sorted(
+        [(start, 1) for start, _ in events]
+        + [(end, -1) for _, end in events])
+    running = 0
+    peak = 0
+    for _, delta in boundary:
+        running += delta
+        peak = max(peak, running)
+    if peak > gpu.num_streams:
+        raise SimulationError(
+            "GPU %d ran %d concurrent kernels with only %d streams"
+            % (gpu.index, peak, gpu.num_streams))
+    return intervals + kernel_intervals
+
+
+def check_runtime(runtime):
+    """Validate every traced resource of a runtime; returns the total
+    number of intervals audited."""
+    if not runtime.tracing:
+        raise SimulationError(
+            "runtime was created without tracing; nothing to validate")
+    horizon = runtime.now if runtime.now > 0 else None
+    total = 0
+    for gpu in runtime.gpus:
+        total += check_gpu(gpu, horizon)
+    return total

@@ -1,0 +1,56 @@
+"""Byte- and rate-unit helpers shared across the package.
+
+The paper quotes capacities in MB/GB/TB and bandwidths in MB/s and GB/s.
+Keeping the conversions in one module avoids a proliferation of magic
+``* 1024 ** 3`` expressions and makes hardware specs read like the paper.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+#: One gigabit, used for network bandwidth quoted in Gbps (e.g. Infiniband
+#: QDR at 40 Gbps).  Network vendors use decimal prefixes.
+GBIT = 10 ** 9
+
+
+def gbps_to_bytes_per_sec(gbps):
+    """Convert a link speed in gigabits per second to bytes per second."""
+    return gbps * GBIT / 8.0
+
+
+def format_bytes(num_bytes):
+    """Render a byte count with a binary-prefix unit, e.g. ``1.5 GB``.
+
+    >>> format_bytes(1536)
+    '1.50 KB'
+    >>> format_bytes(64 * MB)
+    '64.00 MB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1024.0 or unit == "PB":
+            if unit == "B":
+                return "%d B" % int(value)
+            return "%.2f %s" % (value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_sec):
+    """Render a bandwidth as e.g. ``6.00 GB/s``."""
+    return format_bytes(bytes_per_sec) + "/s"
+
+
+def format_seconds(seconds):
+    """Render an elapsed time the way the paper's figures do.
+
+    Times under a millisecond are shown in microseconds, under a second in
+    milliseconds, and anything longer in seconds with one decimal.
+    """
+    if seconds < 1e-3:
+        return "%.1f us" % (seconds * 1e6)
+    if seconds < 1.0:
+        return "%.1f ms" % (seconds * 1e3)
+    return "%.1f s" % seconds

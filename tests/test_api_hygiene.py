@@ -1,0 +1,79 @@
+"""API hygiene: documentation and export consistency checks."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.format", "repro.hardware", "repro.graphgen",
+    "repro.core", "repro.core.kernels", "repro.baselines", "repro.bench",
+]
+
+
+def _all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            names.append("%s.%s" % (package_name, info.name))
+    return sorted(set(names))
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", _all_modules())
+    def test_every_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, "%s lacks a module docstring" % module_name
+        assert len(module.__doc__.strip()) > 20
+
+    def test_every_public_class_documented(self):
+        undocumented = []
+        for module_name in _all_modules():
+            module = importlib.import_module(module_name)
+            for name, item in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if inspect.isclass(item) \
+                        and item.__module__ == module_name:
+                    if not (item.__doc__ or "").strip():
+                        undocumented.append("%s.%s" % (module_name, name))
+        assert not undocumented, undocumented
+
+    def test_every_public_function_documented(self):
+        undocumented = []
+        for module_name in _all_modules():
+            module = importlib.import_module(module_name)
+            for name, item in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(item) \
+                        and item.__module__ == module_name:
+                    if not (item.__doc__ or "").strip():
+                        undocumented.append("%s.%s" % (module_name, name))
+        assert not undocumented, undocumented
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_resolves(self):
+        for package_name in PACKAGES[1:]:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                assert hasattr(package, name), \
+                    "%s.%s" % (package_name, name)
+
+    def test_kernels_exported_at_top_level(self):
+        from repro.core import kernels
+        for name in kernels.__all__:
+            # Concrete algorithm kernels are part of the top-level API;
+            # the abstract base and protocol helpers are not.
+            if name.endswith("Kernel") and name != "Kernel":
+                assert hasattr(repro, name), name

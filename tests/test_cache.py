@@ -1,0 +1,88 @@
+"""Tests for the GPU page cache (cachedPIDMap, Section 3.3)."""
+
+import pytest
+
+from repro.core.cache import PageCache
+from repro.errors import ConfigurationError
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = PageCache(4)
+        assert not cache.lookup(7)
+        cache.admit(7)
+        assert cache.lookup(7)
+
+    def test_counters(self):
+        cache = PageCache(4)
+        cache.lookup(1)
+        cache.admit(1)
+        cache.lookup(1)
+        cache.lookup(2)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.hit_rate() == pytest.approx(1 / 3)
+
+    def test_hit_rate_empty(self):
+        assert PageCache(4).hit_rate() == 0.0
+
+    def test_zero_capacity_always_misses(self):
+        cache = PageCache(0)
+        cache.admit(1)
+        assert not cache.lookup(1)
+        assert len(cache) == 0
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        cache = PageCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        victim = cache.admit(3)
+        assert victim == 1
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_lookup_refreshes(self):
+        cache = PageCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.lookup(1)
+        cache.admit(3)
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_readmit_is_noop(self):
+        cache = PageCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        assert cache.admit(1) is None
+        assert len(cache) == 2
+
+    def test_capacity_never_exceeded(self):
+        cache = PageCache(3)
+        for pid in range(10):
+            cache.admit(pid)
+        assert len(cache) == 3
+
+    def test_page_ids_snapshot(self):
+        cache = PageCache(3)
+        for pid in (5, 6, 7):
+            cache.admit(pid)
+        assert sorted(cache.page_ids()) == [5, 6, 7]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageCache(-1)
+
+
+class TestNaiveModel:
+    def test_naive_hit_rate_formula(self):
+        """The paper's B/(S+L) approximation (Section 3.3)."""
+        assert PageCache.naive_hit_rate(10, 100) == 0.1
+
+    def test_naive_hit_rate_capped(self):
+        assert PageCache.naive_hit_rate(200, 100) == 1.0
+
+    def test_naive_hit_rate_empty_graph(self):
+        assert PageCache.naive_hit_rate(10, 0) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphgen import generate_rmat
+from repro.graphgen.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "bfs"])
+
+    def test_run_sources_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "rmat26", "--edges", "x.txt"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "rmat26", "--algorithm", "magic"])
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "rmat26" in output
+        assert "yahooweb" in output
+
+
+class TestRunCommand:
+    def test_bfs_on_registry_dataset(self, capsys):
+        assert main(["run", "--dataset", "rmat26",
+                     "--algorithm", "bfs"]) == 0
+        output = capsys.readouterr().out
+        assert "BFS on rmat26" in output
+        assert "level" in output
+
+    def test_pagerank_with_options(self, capsys):
+        assert main(["run", "--dataset", "rmat26",
+                     "--algorithm", "pagerank", "--iterations", "3",
+                     "--streams", "4", "--strategy", "scalability",
+                     "--micro", "hybrid", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "PageRank on rmat26" in output
+        assert "scalability" in output
+
+    def test_kcore(self, capsys):
+        assert main(["run", "--dataset", "rmat26",
+                     "--algorithm", "kcore", "--k", "3"]) == 0
+        assert "KCore" in capsys.readouterr().out
+
+    def test_edge_list_file(self, tmp_path, capsys):
+        graph = generate_rmat(7, edge_factor=4, seed=2)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(graph, path)
+        assert main(["run", "--edges", path, "--algorithm", "bfs",
+                     "--start", "0"]) == 0
+        assert "BFS" in capsys.readouterr().out
+
+    def test_gts_error_becomes_exit_code(self, tmp_path, capsys):
+        graph = generate_rmat(7, edge_factor=4, seed=2)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(graph, path)
+        # One-GPU machine with start vertex out of range.
+        assert main(["run", "--edges", path, "--algorithm", "bfs",
+                     "--start", "999999"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecommendCommand:
+    def test_prints_recommendation(self, capsys):
+        assert main(["recommend", "--dataset", "rmat26",
+                     "--algorithm", "pagerank"]) == 0
+        output = capsys.readouterr().out
+        assert "recommendation" in output
+        assert "streams" in output
+
+
+class TestBenchCommand:
+    def test_table2(self, capsys):
+        assert main(["bench", "--experiment", "table2"]) == 0
+        assert "80.00 GB" in capsys.readouterr().out
+
+    def test_fig14(self, capsys):
+        assert main(["bench", "--experiment", "fig14",
+                     "--algorithm", "BFS"]) == 0
+        assert "vertex-centric" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_aggregates_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_idconfig.txt").write_text("Table 2 body\n")
+        (results / "custom_extra.txt").write_text("extra body\n")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        output = capsys.readouterr().out
+        assert "REPORT.md" in output
+        report = (results / "REPORT.md").read_text()
+        assert "Table 2 body" in report
+        assert "extra body" in report
+        assert "missing artifacts" in output or True
+
+    def test_missing_results_reported(self, tmp_path, capsys):
+        results = tmp_path / "empty"
+        results.mkdir()
+        assert main(["report", "--results-dir", str(results)]) == 0
+        assert "missing artifacts" in capsys.readouterr().out

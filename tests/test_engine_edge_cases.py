@@ -1,0 +1,152 @@
+"""Engine hardening: degenerate graphs and unusual configurations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference
+from repro.core import (
+    BFSKernel,
+    DegreeKernel,
+    GTSEngine,
+    PageRankKernel,
+    SSSPKernel,
+    WCCKernel,
+)
+from repro.format import PageFormatConfig, build_database
+from repro.graphgen import Graph, generate_rmat
+from repro.graphgen.random_graphs import generate_star
+from repro.hardware.specs import scaled_workstation
+from repro.units import KB
+
+
+def _db(graph, page_size=1 * KB, weight_bytes=0):
+    return build_database(
+        graph, PageFormatConfig(2, 2, page_size, weight_bytes=weight_bytes))
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph(self, machine):
+        graph = Graph.from_edges(16, [], [])
+        db = _db(graph)
+        result = GTSEngine(db, machine).run(BFSKernel(3))
+        levels = result.values["level"]
+        assert levels[3] == 0
+        assert (levels == -1).sum() == 15
+
+    def test_edgeless_pagerank(self, machine):
+        graph = Graph.from_edges(8, [], [])
+        result = GTSEngine(_db(graph), machine).run(
+            PageRankKernel(iterations=3))
+        assert np.allclose(result.values["rank"], 0.15 / 8)
+
+    def test_two_vertices(self, machine):
+        graph = Graph.from_edges(2, [0], [1])
+        result = GTSEngine(_db(graph), machine).run(BFSKernel(0))
+        assert list(result.values["level"]) == [0, 1]
+
+    def test_self_loops_everywhere(self, machine):
+        vids = np.arange(10)
+        graph = Graph.from_edges(10, vids, vids)
+        result = GTSEngine(_db(graph), machine).run(BFSKernel(0))
+        assert result.values["level"][0] == 0
+        assert (result.values["level"][1:] == -1).all()
+
+    def test_all_large_pages(self, machine):
+        """A graph whose only adjacency lists are large-page vertices."""
+        # Two hubs pointing at everything, nothing else has out-edges.
+        num_vertices = 2000
+        sources = np.concatenate([
+            np.zeros(num_vertices - 2, dtype=np.int64),
+            np.ones(num_vertices - 2, dtype=np.int64),
+        ])
+        targets = np.concatenate([
+            np.arange(2, num_vertices, dtype=np.int64),
+            np.arange(2, num_vertices, dtype=np.int64),
+        ])
+        graph = Graph.from_edges(num_vertices, sources, targets)
+        db = _db(graph, page_size=1 * KB)
+        assert db.num_large_pages >= 4
+        result = GTSEngine(db, machine).run(
+            PageRankKernel(iterations=3))
+        expected = reference.pagerank(graph, iterations=3)
+        assert np.allclose(result.values["rank"], expected, atol=1e-12)
+
+    def test_bfs_start_on_large_page_vertex(self, machine):
+        graph = generate_star(3000)
+        db = _db(graph, page_size=1 * KB)
+        assert db.rvt.is_large(db.page_for_vertex(0))
+        result = GTSEngine(db, machine).run(BFSKernel(0))
+        assert (result.values["level"] == 1).sum() == 2999
+
+    def test_sssp_through_large_pages(self, machine):
+        graph = generate_star(3000).with_random_weights(seed=4)
+        db = build_database(
+            graph, PageFormatConfig(2, 2, 1 * KB, weight_bytes=4))
+        result = GTSEngine(db, machine).run(SSSPKernel(0))
+        expected = reference.sssp_distances(graph, 0)
+        assert np.allclose(result.values["distance"], expected, rtol=1e-5,
+                           equal_nan=True)
+
+
+class TestUnusualConfigurations:
+    def test_single_stream_single_gpu_single_ssd(self, rmat_graph,
+                                                 rmat_db):
+        machine = scaled_workstation(num_gpus=1, num_ssds=1)
+        result = GTSEngine(rmat_db, machine, num_streams=1).run(
+            BFSKernel(0))
+        assert np.array_equal(result.values["level"],
+                              reference.bfs_levels(rmat_graph, 0))
+
+    def test_many_gpus(self, rmat_graph, rmat_db):
+        machine = scaled_workstation(num_gpus=8)
+        result = GTSEngine(rmat_db, machine).run(
+            PageRankKernel(iterations=2))
+        expected = reference.pagerank(rmat_graph, iterations=2)
+        assert np.allclose(result.values["rank"], expected, atol=1e-12)
+
+    def test_zero_byte_cache(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine, cache_bytes=0).run(
+            BFSKernel(0))
+        assert result.cache_hits == 0
+
+    def test_tiny_mm_buffer_still_correct(self, rmat_graph, rmat_db,
+                                          machine):
+        result = GTSEngine(
+            rmat_db, machine,
+            mm_buffer_bytes=rmat_db.config.page_size).run(
+            PageRankKernel(iterations=2))
+        expected = reference.pagerank(rmat_graph, iterations=2)
+        assert np.allclose(result.values["rank"], expected, atol=1e-12)
+
+    def test_pagerank_tolerance_stops_early(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(
+            PageRankKernel(iterations=200, tolerance=1e-5))
+        assert result.num_rounds < 200
+        # Converged ranks approximate the 200-iteration fixpoint.
+        full = GTSEngine(rmat_db, machine).run(
+            PageRankKernel(iterations=200))
+        assert np.allclose(result.values["rank"], full.values["rank"],
+                           atol=1e-4)
+
+    def test_pagerank_tolerance_validated(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            PageRankKernel(tolerance=0.0)
+
+    def test_kernel_reuse_across_runs(self, rmat_graph, rmat_db, machine):
+        """One kernel object can drive several runs (fresh state each)."""
+        kernel = PageRankKernel(iterations=3)
+        engine = GTSEngine(rmat_db, machine)
+        first = engine.run(kernel)
+        second = engine.run(kernel)
+        assert np.allclose(first.values["rank"], second.values["rank"],
+                           atol=0)
+
+    def test_mixed_kernels_share_an_engine(self, rmat_db, machine):
+        engine = GTSEngine(rmat_db, machine)
+        bfs = engine.run(BFSKernel(0))
+        degree = engine.run(DegreeKernel())
+        wcc_db = _db(generate_rmat(8, edge_factor=4, seed=1).symmetrised())
+        assert bfs.algorithm == "BFS"
+        assert degree.algorithm == "Degree"
+        assert GTSEngine(wcc_db, machine).run(WCCKernel()).algorithm == "CC"

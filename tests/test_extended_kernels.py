@@ -1,0 +1,202 @@
+"""Tests for the extended algorithm kernels of Section 3.3's list:
+K-core, Neighborhood, CrossEdges and Radius estimation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference
+from repro.core import (
+    CrossEdgesKernel,
+    GTSEngine,
+    KCoreKernel,
+    NeighborhoodKernel,
+    RadiusKernel,
+)
+from repro.errors import ConfigurationError
+from repro.format import build_database
+from repro.graphgen import generate_rmat
+from repro.graphgen.random_graphs import generate_ring, generate_star
+
+
+def _naive_kcore(graph, k):
+    """Reference peeling on a symmetrised CSR graph."""
+    degree = graph.out_degrees().astype(int).copy()
+    alive = np.ones(graph.num_vertices, dtype=bool)
+    changed = True
+    while changed:
+        removable = alive & (degree < k)
+        changed = bool(removable.any())
+        alive[removable] = False
+        for v in np.flatnonzero(removable):
+            for t in graph.neighbors(v):
+                degree[t] -= 1
+    return alive
+
+
+@pytest.fixture(scope="module")
+def sym_graph():
+    return generate_rmat(9, edge_factor=8, seed=61).symmetrised()
+
+
+@pytest.fixture(scope="module")
+def sym_db(sym_graph, small_config):
+    return build_database(sym_graph, small_config, name="sym")
+
+
+class TestKCore:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_matches_naive_peeling(self, sym_graph, sym_db, machine, k):
+        result = GTSEngine(sym_db, machine).run(KCoreKernel(k=k))
+        assert np.array_equal(result.values["in_kcore"],
+                              _naive_kcore(sym_graph, k))
+
+    def test_core_membership_is_monotone_in_k(self, sym_db, machine):
+        cores = [GTSEngine(sym_db, machine).run(
+            KCoreKernel(k=k)).values["in_kcore"] for k in (2, 4, 8)]
+        assert np.all(cores[1] <= cores[0])
+        assert np.all(cores[2] <= cores[1])
+
+    def test_kcore_property_holds(self, sym_graph, sym_db, machine):
+        """Every member of the k-core keeps >= k in-core neighbours."""
+        k = 4
+        core = GTSEngine(sym_db, machine).run(
+            KCoreKernel(k=k)).values["in_kcore"]
+        for v in np.flatnonzero(core):
+            in_core_neighbours = core[sym_graph.neighbors(v)].sum()
+            assert in_core_neighbours >= k
+
+    def test_star_has_no_two_core(self, machine, small_config):
+        star = generate_star(100).symmetrised()
+        db = build_database(star, small_config)
+        result = GTSEngine(db, machine).run(KCoreKernel(k=2))
+        assert not result.values["in_kcore"].any()
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            KCoreKernel(k=0)
+
+
+class TestNeighborhood:
+    def test_matches_truncated_bfs(self, rmat_graph, rmat_db, machine):
+        start = int(np.argmax(rmat_graph.out_degrees()))
+        levels = reference.bfs_levels(rmat_graph, start)
+        for hops in (0, 1, 2, 3):
+            result = GTSEngine(rmat_db, machine).run(
+                NeighborhoodKernel(query_vertex=start, hops=hops))
+            expected = (levels >= 0) & (levels <= hops)
+            assert np.array_equal(result.values["member"], expected)
+
+    def test_zero_hops_is_just_the_query(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(
+            NeighborhoodKernel(query_vertex=5, hops=0))
+        member = result.values["member"]
+        assert member[5]
+        assert member.sum() == 1
+        assert result.num_rounds == 0
+
+    def test_streams_only_needed_levels(self, rmat_db, machine):
+        shallow = GTSEngine(rmat_db, machine).run(
+            NeighborhoodKernel(query_vertex=0, hops=1))
+        deep = GTSEngine(rmat_db, machine).run(
+            NeighborhoodKernel(query_vertex=0, hops=3))
+        assert shallow.pages_streamed <= deep.pages_streamed
+        assert shallow.num_rounds <= 1
+
+    def test_hop_vector_matches_levels(self, rmat_graph, rmat_db, machine):
+        start = int(np.argmax(rmat_graph.out_degrees()))
+        result = GTSEngine(rmat_db, machine).run(
+            NeighborhoodKernel(query_vertex=start, hops=2))
+        hops = result.values["hop"]
+        levels = reference.bfs_levels(rmat_graph, start)
+        member = result.values["member"]
+        assert np.array_equal(hops[member], levels[member])
+
+    def test_hops_validated(self):
+        with pytest.raises(ConfigurationError):
+            NeighborhoodKernel(hops=-1)
+
+
+class TestCrossEdges:
+    def test_total_matches_direct_count(self, rmat_graph, rmat_db,
+                                        machine):
+        partition = np.arange(rmat_graph.num_vertices) % 3
+        result = GTSEngine(rmat_db, machine).run(
+            CrossEdgesKernel(partition))
+        sources, targets = rmat_graph.edge_list()
+        expected = int((partition[sources] != partition[targets]).sum())
+        assert result.values["total_cross_edges"][0] == expected
+
+    def test_per_vertex_counts_sum_to_total(self, rmat_graph, rmat_db,
+                                            machine):
+        partition = np.arange(rmat_graph.num_vertices) % 2
+        result = GTSEngine(rmat_db, machine).run(
+            CrossEdgesKernel(partition))
+        assert (result.values["cross_count"].sum()
+                == result.values["total_cross_edges"][0])
+
+    def test_single_part_has_no_cross_edges(self, rmat_graph, rmat_db,
+                                            machine):
+        partition = np.zeros(rmat_graph.num_vertices, dtype=int)
+        result = GTSEngine(rmat_db, machine).run(
+            CrossEdgesKernel(partition))
+        assert result.values["total_cross_edges"][0] == 0
+        assert result.values["cut_fraction"][0] == 0.0
+
+    def test_partition_length_validated(self, rmat_db, machine):
+        with pytest.raises(ConfigurationError):
+            GTSEngine(rmat_db, machine).run(CrossEdgesKernel([0, 1]))
+
+    def test_single_scan(self, rmat_graph, rmat_db, machine):
+        partition = np.arange(rmat_graph.num_vertices) % 2
+        result = GTSEngine(rmat_db, machine).run(
+            CrossEdgesKernel(partition))
+        assert result.num_rounds == 1
+        assert result.edges_traversed == rmat_graph.num_edges
+
+
+class TestRadius:
+    def test_ring_radius_hits_hop_cap(self, machine, small_config):
+        """A directed ring's reachable set keeps growing each hop."""
+        db = build_database(generate_ring(64), small_config)
+        result = GTSEngine(db, machine).run(
+            RadiusKernel(num_sketches=16, max_hops=10, seed=1))
+        assert result.values["estimated_diameter"][0] == 10
+
+    def test_rmat_radius_is_small(self, machine, small_config):
+        graph = generate_rmat(10, edge_factor=16, seed=9).symmetrised()
+        db = build_database(graph, small_config)
+        result = GTSEngine(db, machine).run(
+            RadiusKernel(num_sketches=16, max_hops=12, seed=1))
+        diameter = result.values["estimated_diameter"][0]
+        assert 1 <= diameter <= 8
+
+    def test_neighbourhood_sizes_monotone(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(
+            RadiusKernel(num_sketches=8, max_hops=6, seed=2))
+        sizes = result.values["neighbourhood_sizes"]
+        assert np.all(np.diff(sizes, axis=0) >= -1e-9)
+
+    def test_estimate_in_calibrated_range(self):
+        """FM estimate of a known set size lands within ~3x."""
+        from repro.core.kernels.radius import fm_estimate
+        rng = np.random.default_rng(0)
+        num_sketches = 32
+        true_size = 500
+        geometric = rng.geometric(0.5, size=(true_size, num_sketches))
+        bits = np.minimum(geometric - 1, 31).astype(np.uint32)
+        sketches = np.bitwise_or.reduce(
+            np.uint32(1) << bits, axis=0)
+        estimate = fm_estimate(sketches[None, :])[0]
+        assert true_size / 3 < estimate < true_size * 3
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            RadiusKernel(num_sketches=0)
+        with pytest.raises(ConfigurationError):
+            RadiusKernel(max_hops=0)
+        with pytest.raises(ConfigurationError):
+            RadiusKernel(threshold=0.0)
+
+    def test_wa_bytes_scale_with_sketches(self):
+        assert RadiusKernel(num_sketches=16).wa_bytes_per_vertex \
+            == 2 * RadiusKernel(num_sketches=8).wa_bytes_per_vertex

@@ -1,0 +1,110 @@
+"""Tests for the slotted-page format configuration (Table 2 arithmetic)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.format import PageFormatConfig, SIX_BYTE_CONFIGS
+from repro.units import GB, KB, MB
+
+
+class TestWidths:
+    def test_record_id_bytes(self):
+        config = PageFormatConfig(page_id_bytes=3, slot_bytes=3)
+        assert config.record_id_bytes == 6
+
+    def test_adjacency_entry_without_weights(self):
+        config = PageFormatConfig(page_id_bytes=2, slot_bytes=2)
+        assert config.adjacency_entry_bytes == 4
+
+    def test_adjacency_entry_with_weights(self):
+        config = PageFormatConfig(page_id_bytes=2, slot_bytes=2,
+                                  weight_bytes=4)
+        assert config.adjacency_entry_bytes == 8
+
+    def test_slot_entry_bytes(self):
+        config = PageFormatConfig(vid_bytes=6, offset_bytes=4)
+        assert config.slot_entry_bytes == 10
+
+    def test_max_page_id(self):
+        assert PageFormatConfig(page_id_bytes=2, slot_bytes=2).max_page_id \
+            == 65536
+
+    def test_max_slot_number(self):
+        assert PageFormatConfig(page_id_bytes=2, slot_bytes=4,
+                                page_size=1 * MB).max_slot_number \
+            == 4294967296
+
+    def test_max_vertex_id(self):
+        config = PageFormatConfig(vid_bytes=6)
+        assert config.max_vertex_id == 1 << 48
+
+
+class TestTable2:
+    """The paper's Table 2: three configurations of a 6-byte physical ID."""
+
+    def test_config_2_4(self):
+        config = SIX_BYTE_CONFIGS[(2, 4)]
+        assert config.max_page_id == 64 * 1024
+        assert config.max_slot_number == 4 * 1024 ** 3
+        assert config.theoretical_max_page_size() == 80 * GB
+
+    def test_config_3_3(self):
+        config = SIX_BYTE_CONFIGS[(3, 3)]
+        assert config.max_page_id == 16 * 1024 ** 2
+        assert config.max_slot_number == 16 * 1024 ** 2
+        assert config.theoretical_max_page_size() == 320 * MB
+
+    def test_config_4_2(self):
+        config = SIX_BYTE_CONFIGS[(4, 2)]
+        assert config.max_page_id == 4 * 1024 ** 3
+        assert config.max_slot_number == 64 * 1024
+        assert config.theoretical_max_page_size() == 1.25 * MB
+
+    def test_all_are_six_byte_ids(self):
+        for config in SIX_BYTE_CONFIGS.values():
+            assert config.record_id_bytes == 6
+
+    def test_min_page_bytes_is_twenty(self):
+        """Table 2 multiplies max slots by 20 B (slot + minimal record)."""
+        for config in SIX_BYTE_CONFIGS.values():
+            assert config.min_page_bytes() == 20
+
+
+class TestCapacityHelpers:
+    def test_record_bytes(self):
+        config = PageFormatConfig(page_id_bytes=2, slot_bytes=2)
+        assert config.record_bytes(degree=3) == 4 + 3 * 4
+
+    def test_vertex_bytes_includes_slot(self):
+        config = PageFormatConfig(page_id_bytes=2, slot_bytes=2)
+        assert config.vertex_bytes(3) == config.record_bytes(3) + 10
+
+    def test_max_degree_in_one_page(self):
+        config = PageFormatConfig(page_id_bytes=2, slot_bytes=2,
+                                  page_size=2 * KB)
+        max_degree = config.max_degree_in_one_page()
+        assert config.vertex_bytes(max_degree) <= config.page_size
+        assert config.vertex_bytes(max_degree + 1) > config.page_size
+
+    def test_weighted_entries_shrink_capacity(self):
+        plain = PageFormatConfig(page_id_bytes=2, slot_bytes=2,
+                                 page_size=2 * KB)
+        weighted = PageFormatConfig(page_id_bytes=2, slot_bytes=2,
+                                    page_size=2 * KB, weight_bytes=4)
+        assert weighted.max_degree_in_one_page() \
+            < plain.max_degree_in_one_page()
+
+
+class TestValidation:
+    def test_rejects_zero_width_ids(self):
+        with pytest.raises(ConfigurationError):
+            PageFormatConfig(page_id_bytes=0, slot_bytes=2)
+
+    def test_rejects_tiny_pages(self):
+        with pytest.raises(ConfigurationError):
+            PageFormatConfig(page_id_bytes=2, slot_bytes=2, page_size=8)
+
+    def test_describe_mentions_widths(self):
+        config = PageFormatConfig(page_id_bytes=3, slot_bytes=3)
+        assert "p=3" in config.describe()
+        assert "q=3" in config.describe()

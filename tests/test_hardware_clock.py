@@ -1,0 +1,112 @@
+"""Tests for the timeline resources (Resource, SlotPool)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware.clock import Resource, SlotPool
+
+
+class TestResource:
+    def test_serializes_activities(self):
+        resource = Resource("r")
+        start1, end1 = resource.book(0.0, 2.0)
+        start2, end2 = resource.book(0.0, 3.0)
+        assert (start1, end1) == (0.0, 2.0)
+        assert (start2, end2) == (2.0, 5.0)
+
+    def test_respects_earliest(self):
+        resource = Resource("r")
+        start, end = resource.book(10.0, 1.0)
+        assert (start, end) == (10.0, 11.0)
+
+    def test_idle_gap_not_counted_busy(self):
+        resource = Resource("r")
+        resource.book(5.0, 1.0)
+        assert resource.busy_time == 1.0
+        assert resource.utilisation(10.0) == pytest.approx(0.1)
+
+    def test_zero_duration_allowed(self):
+        resource = Resource("r")
+        start, end = resource.book(1.0, 0.0)
+        assert start == end == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource("r").book(0.0, -1.0)
+
+    def test_negative_earliest_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource("r").book(-0.5, 1.0)
+
+    def test_reset(self):
+        resource = Resource("r")
+        resource.book(0.0, 5.0)
+        resource.reset()
+        assert resource.available_at == 0.0
+        assert resource.busy_time == 0.0
+        assert resource.num_activities == 0
+
+    def test_activity_count(self):
+        resource = Resource("r")
+        for _ in range(4):
+            resource.book(0.0, 1.0)
+        assert resource.num_activities == 4
+
+    def test_utilisation_capped_at_one(self):
+        resource = Resource("r")
+        resource.book(0.0, 10.0)
+        assert resource.utilisation(5.0) == 1.0
+
+    def test_utilisation_of_empty_horizon(self):
+        assert Resource("r").utilisation(0.0) == 0.0
+
+
+class TestSlotPool:
+    def test_parallel_slots_overlap(self):
+        pool = SlotPool("p", 2)
+        _, start1, _ = pool.book(0.0, 5.0)
+        _, start2, _ = pool.book(0.0, 5.0)
+        assert start1 == 0.0
+        assert start2 == 0.0
+
+    def test_third_booking_waits(self):
+        pool = SlotPool("p", 2)
+        pool.book(0.0, 5.0)
+        pool.book(0.0, 3.0)
+        slot, start, _ = pool.book(0.0, 1.0)
+        assert start == 3.0  # lands on the slot that freed first
+
+    def test_book_on_specific_slot(self):
+        pool = SlotPool("p", 3)
+        start, end = pool.book_on(1, 0.0, 2.0)
+        start2, _ = pool.book_on(1, 0.0, 2.0)
+        assert start == 0.0
+        assert start2 == 2.0
+
+    def test_all_done_at_is_max(self):
+        pool = SlotPool("p", 2)
+        pool.book_on(0, 0.0, 1.0)
+        pool.book_on(1, 0.0, 7.0)
+        assert pool.all_done_at() == 7.0
+
+    def test_busy_time_sums_slots(self):
+        pool = SlotPool("p", 2)
+        pool.book(0.0, 1.0)
+        pool.book(0.0, 2.0)
+        assert pool.busy_time() == 3.0
+
+    def test_single_slot_serializes(self):
+        pool = SlotPool("p", 1)
+        pool.book(0.0, 2.0)
+        _, start, _ = pool.book(0.0, 2.0)
+        assert start == 2.0
+
+    def test_reset(self):
+        pool = SlotPool("p", 2)
+        pool.book(0.0, 3.0)
+        pool.reset()
+        assert pool.all_done_at() == 0.0
+
+    def test_needs_at_least_one_slot(self):
+        with pytest.raises(SimulationError):
+            SlotPool("p", 0)

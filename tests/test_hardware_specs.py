@@ -1,0 +1,124 @@
+"""Tests for hardware specs, scaling and kernel timing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import (
+    DEFAULT_SCALE_FACTOR,
+    GPUSpec,
+    HDD_SPEC,
+    MachineSpec,
+    PCIeSpec,
+    SSD_SPEC,
+    paper_workstation,
+    scaled_workstation,
+)
+from repro.units import GB
+
+
+class TestPCIeSpec:
+    def test_chunk_faster_than_stream(self):
+        pcie = PCIeSpec()
+        assert pcie.chunk_bandwidth > pcie.stream_bandwidth
+
+    def test_paper_rates(self):
+        """Section 5.1: c1 ~ 16 GB/s, c2 ~ 6 GB/s for PCI-E 3.0 x16."""
+        pcie = PCIeSpec()
+        assert pcie.chunk_bandwidth == 16 * GB
+        assert pcie.stream_bandwidth == 6 * GB
+
+    def test_copy_times_include_latency(self):
+        pcie = PCIeSpec(latency=1e-6)
+        assert pcie.chunk_copy_time(0) == 1e-6
+        assert pcie.stream_copy_time(6 * GB) == pytest.approx(1.0 + 1e-6)
+
+    def test_p2p_copy_time(self):
+        pcie = PCIeSpec(latency=0.0)
+        assert pcie.p2p_copy_time(20 * GB) == pytest.approx(1.0)
+
+
+class TestGPUSpec:
+    def test_paper_device_memory(self):
+        assert GPUSpec().device_memory == 12 * GB
+
+    def test_stream_time_slower_than_device_time(self):
+        gpu = GPUSpec()
+        steps = 1e6
+        assert gpu.kernel_stream_time(steps, 10) > gpu.kernel_device_time(
+            steps, 10)
+
+    def test_stream_time_includes_launch_overhead(self):
+        gpu = GPUSpec()
+        assert gpu.kernel_stream_time(0, 10) == gpu.kernel_launch_overhead
+
+    def test_device_time_scales_with_cycles(self):
+        gpu = GPUSpec()
+        assert gpu.kernel_device_time(100, 20) == pytest.approx(
+            2 * gpu.kernel_device_time(100, 10))
+
+    def test_underutilisation_ratio(self):
+        gpu = GPUSpec(kernel_launch_overhead=0.0)
+        ratio = (gpu.kernel_stream_time(1000, 10)
+                 / gpu.kernel_device_time(1000, 10))
+        assert ratio == pytest.approx(1.0 / gpu.single_stream_fraction)
+
+
+class TestStorageSpecs:
+    def test_ssd_faster_than_hdd(self):
+        assert SSD_SPEC.read_bandwidth > 10 * HDD_SPEC.read_bandwidth
+
+    def test_hdd_latency_dominates_small_reads(self):
+        assert HDD_SPEC.read_time(4096) == pytest.approx(
+            HDD_SPEC.access_latency, rel=0.01)
+
+    def test_read_time_scales_with_bytes(self):
+        big = SSD_SPEC.read_time(100 * GB)
+        small = SSD_SPEC.read_time(1 * GB)
+        assert big > 50 * small
+
+
+class TestMachineSpec:
+    def test_paper_workstation_defaults(self):
+        machine = paper_workstation()
+        assert machine.num_gpus == 2
+        assert machine.num_storages == 2
+        assert machine.main_memory == 128 * GB
+
+    def test_needs_a_gpu(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(gpus=(), storages=(), main_memory=1)
+
+    def test_needs_positive_memory(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(gpus=(GPUSpec(),), storages=(), main_memory=0)
+
+    def test_scaled_divides_capacities(self):
+        machine = paper_workstation().scaled(1024)
+        assert machine.main_memory == 128 * GB // 1024
+        assert machine.gpus[0].device_memory == 12 * GB // 1024
+
+    def test_scaled_keeps_rates(self):
+        base = paper_workstation()
+        scaled = base.scaled(8192)
+        assert scaled.pcie.stream_bandwidth == base.pcie.stream_bandwidth
+        assert scaled.gpus[0].effective_hz == base.gpus[0].effective_hz
+        assert (scaled.storages[0].read_bandwidth
+                == base.storages[0].read_bandwidth)
+
+    def test_scaled_divides_fixed_overheads(self):
+        base = paper_workstation()
+        scaled = base.scaled(8192)
+        assert scaled.pcie.latency == base.pcie.latency / 8192
+        assert (scaled.gpus[0].kernel_launch_overhead
+                == base.gpus[0].kernel_launch_overhead / 8192)
+
+    def test_scaled_workstation_uses_default_factor(self):
+        machine = scaled_workstation()
+        assert machine.main_memory == 128 * GB // DEFAULT_SCALE_FACTOR
+
+    def test_hdd_variant(self):
+        machine = paper_workstation(storage_spec=HDD_SPEC)
+        assert "HDD" in machine.storages[0].name
+
+    def test_gpu_count_parameter(self):
+        assert paper_workstation(num_gpus=4).num_gpus == 4

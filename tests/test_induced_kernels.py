@@ -1,0 +1,128 @@
+"""Tests for the induced-subgraph and egonet kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import EgonetKernel, GTSEngine, InducedSubgraphKernel
+from repro.errors import ConfigurationError
+from repro.format import build_database
+from repro.graphgen import Graph
+from repro.graphgen.random_graphs import generate_star
+
+
+def _direct_induced_count(graph, member):
+    sources, targets = graph.edge_list()
+    return int((member[sources] & member[targets]).sum())
+
+
+class TestInducedSubgraph:
+    def test_counts_match_direct_scan(self, rmat_graph, rmat_db, machine):
+        rng = np.random.default_rng(3)
+        member = rng.random(rmat_graph.num_vertices) < 0.4
+        result = GTSEngine(rmat_db, machine).run(
+            InducedSubgraphKernel(member))
+        assert result.values["num_induced_edges"][0] == \
+            _direct_induced_count(rmat_graph, member)
+
+    def test_accepts_id_list(self, rmat_graph, rmat_db, machine):
+        ids = [0, 1, 2, 3, 4]
+        result = GTSEngine(rmat_db, machine).run(
+            InducedSubgraphKernel(ids))
+        member = result.values["member"]
+        assert member[:5].all()
+        assert member.sum() == 5
+
+    def test_collected_edges_all_internal(self, rmat_graph, rmat_db,
+                                          machine):
+        rng = np.random.default_rng(5)
+        member = rng.random(rmat_graph.num_vertices) < 0.3
+        result = GTSEngine(rmat_db, machine).run(
+            InducedSubgraphKernel(member, collect_edges=True))
+        edges = result.values["edges"]
+        assert len(edges) == result.values["num_induced_edges"][0]
+        if len(edges):
+            assert member[edges[:, 0]].all()
+            assert member[edges[:, 1]].all()
+
+    def test_internal_degree_sums_to_edges(self, rmat_graph, rmat_db,
+                                           machine):
+        rng = np.random.default_rng(7)
+        member = rng.random(rmat_graph.num_vertices) < 0.5
+        result = GTSEngine(rmat_db, machine).run(
+            InducedSubgraphKernel(member))
+        assert (result.values["internal_degree"].sum()
+                == result.values["num_induced_edges"][0])
+
+    def test_full_set_keeps_every_edge(self, rmat_graph, rmat_db,
+                                       machine):
+        member = np.ones(rmat_graph.num_vertices, dtype=bool)
+        result = GTSEngine(rmat_db, machine).run(
+            InducedSubgraphKernel(member))
+        assert result.values["num_induced_edges"][0] == \
+            rmat_graph.num_edges
+
+    def test_empty_set(self, rmat_graph, rmat_db, machine):
+        member = np.zeros(rmat_graph.num_vertices, dtype=bool)
+        result = GTSEngine(rmat_db, machine).run(
+            InducedSubgraphKernel(member))
+        assert result.values["num_induced_edges"][0] == 0
+
+    def test_mask_length_validated(self, rmat_db, machine):
+        with pytest.raises(ConfigurationError):
+            GTSEngine(rmat_db, machine).run(
+                InducedSubgraphKernel(np.zeros(3, dtype=bool)))
+
+    def test_id_range_validated(self, rmat_db, machine):
+        with pytest.raises(ConfigurationError):
+            GTSEngine(rmat_db, machine).run(
+                InducedSubgraphKernel([10 ** 9]))
+
+
+class TestEgonet:
+    def test_members_are_ego_plus_neighbours(self, rmat_graph, rmat_db,
+                                             machine):
+        ego = int(np.argmax(rmat_graph.out_degrees()))
+        result = GTSEngine(rmat_db, machine).run(EgonetKernel(ego))
+        expected = np.zeros(rmat_graph.num_vertices, dtype=bool)
+        expected[ego] = True
+        expected[rmat_graph.neighbors(ego)] = True
+        assert np.array_equal(result.values["member"], expected)
+
+    def test_edge_count_matches_direct(self, rmat_graph, rmat_db,
+                                       machine):
+        ego = int(np.argmax(rmat_graph.out_degrees()))
+        result = GTSEngine(rmat_db, machine).run(EgonetKernel(ego))
+        member = result.values["member"]
+        assert result.values["num_induced_edges"][0] == \
+            _direct_induced_count(rmat_graph, member)
+
+    def test_two_phases(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(EgonetKernel(0))
+        assert result.num_rounds == 2
+
+    def test_isolated_ego(self, machine, small_config):
+        graph = generate_star(50)  # leaves have no out-edges
+        db = build_database(graph, small_config)
+        result = GTSEngine(db, machine).run(EgonetKernel(ego_vertex=7))
+        assert result.values["member"].sum() == 1
+        assert result.values["num_induced_edges"][0] == 0
+
+    def test_star_center_egonet(self, machine, small_config):
+        graph = generate_star(50)
+        db = build_database(graph, small_config)
+        result = GTSEngine(db, machine).run(EgonetKernel(ego_vertex=0))
+        assert result.values["member"].all()
+        assert result.values["num_induced_edges"][0] == 49
+
+    def test_triangle_closure_counted(self, machine, small_config):
+        # 0 -> {1, 2}; 1 -> 2 closes a triangle inside the egonet.
+        graph = Graph.from_edges(3, [0, 0, 1], [1, 2, 2])
+        db = build_database(graph, small_config)
+        result = GTSEngine(db, machine).run(EgonetKernel(0))
+        assert result.values["num_induced_edges"][0] == 3
+
+    def test_ego_validated(self, rmat_db, machine):
+        with pytest.raises(ConfigurationError):
+            GTSEngine(rmat_db, machine).run(EgonetKernel(10 ** 9))
+        with pytest.raises(ConfigurationError):
+            EgonetKernel(-1)

@@ -1,0 +1,207 @@
+"""Tests for graph I/O and database persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.format import build_database
+from repro.format.io import load_database, save_database
+from repro.graphgen import Graph, generate_rmat
+from repro.graphgen.io import (
+    read_binary,
+    read_edge_list,
+    write_binary,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def graph():
+    return generate_rmat(8, edge_factor=8, seed=55)
+
+
+@pytest.fixture
+def weighted(graph):
+    return graph.with_random_weights(seed=3)
+
+
+class TestEdgeListText:
+    def test_round_trip(self, graph, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, num_vertices=graph.num_vertices)
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.targets, graph.targets)
+
+    def test_round_trip_weighted(self, weighted, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(weighted, path)
+        loaded = read_edge_list(path)
+        assert np.allclose(loaded.weights, weighted.weights, rtol=1e-4)
+
+    def test_vertex_count_inferred(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        with open(path, "w") as handle:
+            handle.write("0 5\n3 1\n")
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == 6
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        with open(path, "w") as handle:
+            handle.write("# header\n\n% matrix market style\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        with open(path, "w") as handle:
+            handle.write("42\n")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+    def test_mixed_weighting_rejected(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        with open(path, "w") as handle:
+            handle.write("0 1 2.5\n1 0\n")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+
+class TestEdgeListBinary:
+    def test_round_trip(self, graph, tmp_path):
+        path = str(tmp_path / "graph.bin")
+        write_binary(graph, path)
+        loaded = read_binary(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert np.array_equal(loaded.targets, graph.targets)
+
+    def test_round_trip_weighted(self, weighted, tmp_path):
+        path = str(tmp_path / "graph.bin")
+        write_binary(weighted, path)
+        loaded = read_binary(path)
+        assert np.array_equal(loaded.weights, weighted.weights)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(FormatError):
+            read_binary(path)
+
+
+class TestDatabasePersistence:
+    def test_round_trip_validates(self, rmat_db, tmp_path):
+        prefix = str(tmp_path / "db")
+        save_database(rmat_db, prefix)
+        loaded = load_database(prefix)
+        assert loaded.num_vertices == rmat_db.num_vertices
+        assert loaded.num_edges == rmat_db.num_edges
+        assert loaded.num_small_pages == rmat_db.num_small_pages
+        assert loaded.num_large_pages == rmat_db.num_large_pages
+
+    def test_round_trip_preserves_adjacency(self, rmat_db, tmp_path):
+        prefix = str(tmp_path / "db")
+        save_database(rmat_db, prefix)
+        loaded = load_database(prefix)
+        for original, restored in zip(rmat_db.pages, loaded.pages):
+            assert np.array_equal(original.adj_vids, restored.adj_vids)
+
+    def test_round_trip_preserves_weights(self, weighted_db, tmp_path):
+        prefix = str(tmp_path / "db")
+        save_database(weighted_db, prefix)
+        loaded = load_database(prefix)
+        for original, restored in zip(weighted_db.pages, loaded.pages):
+            if original.adj_weights is not None:
+                assert np.allclose(original.adj_weights,
+                                   restored.adj_weights)
+
+    def test_loaded_database_runs_algorithms(self, rmat_graph, rmat_db,
+                                             machine, tmp_path):
+        from repro.baselines import reference
+        from repro.core import BFSKernel, GTSEngine
+        prefix = str(tmp_path / "db")
+        save_database(rmat_db, prefix)
+        loaded = load_database(prefix)
+        start = int(np.argmax(rmat_graph.out_degrees()))
+        result = GTSEngine(loaded, machine).run(BFSKernel(start))
+        assert np.array_equal(result.values["level"],
+                              reference.bfs_levels(rmat_graph, start))
+
+    def test_truncated_pages_file_rejected(self, rmat_db, tmp_path):
+        prefix = str(tmp_path / "db")
+        _, pages_path = save_database(rmat_db, prefix)
+        with open(pages_path, "ab") as handle:
+            handle.write(b"\x00")
+        with pytest.raises(FormatError):
+            load_database(prefix)
+
+    def test_version_checked(self, rmat_db, tmp_path):
+        import json
+        prefix = str(tmp_path / "db")
+        meta_path, _ = save_database(rmat_db, prefix)
+        with open(meta_path) as handle:
+            metadata = json.load(handle)
+        metadata["version"] = 999
+        with open(meta_path, "w") as handle:
+            json.dump(metadata, handle)
+        with pytest.raises(FormatError):
+            load_database(prefix)
+
+
+class TestFileBackedDatabase:
+    def _open(self, rmat_db, tmp_path, pool_pages=32):
+        from repro.format.io import FileBackedDatabase
+        prefix = str(tmp_path / "db")
+        save_database(rmat_db, prefix)
+        return FileBackedDatabase(prefix, pool_pages=pool_pages)
+
+    def test_metadata_matches(self, rmat_db, tmp_path):
+        lazy = self._open(rmat_db, tmp_path)
+        assert lazy.num_vertices == rmat_db.num_vertices
+        assert lazy.num_edges == rmat_db.num_edges
+        assert lazy.num_small_pages == rmat_db.num_small_pages
+        assert lazy.num_large_pages == rmat_db.num_large_pages
+
+    def test_pages_parse_on_demand(self, rmat_db, tmp_path):
+        lazy = self._open(rmat_db, tmp_path, pool_pages=8)
+        assert lazy.resident_pages() == 0
+        page = lazy.page(0)
+        assert lazy.resident_pages() == 1
+        assert np.array_equal(page.adj_vids, rmat_db.page(0).adj_vids)
+
+    def test_pool_bounded(self, rmat_db, tmp_path):
+        lazy = self._open(rmat_db, tmp_path, pool_pages=4)
+        for pid in range(min(20, lazy.num_pages)):
+            lazy.page(pid)
+        assert lazy.resident_pages() <= 4
+
+    def test_pool_hits_counted(self, rmat_db, tmp_path):
+        lazy = self._open(rmat_db, tmp_path)
+        lazy.page(3)
+        lazy.page(3)
+        assert lazy.pool_hits == 1
+        assert lazy.pool_misses == 1
+
+    def test_validate_decodes_every_page(self, rmat_db, tmp_path):
+        assert self._open(rmat_db, tmp_path).validate()
+
+    def test_engine_runs_on_lazy_database(self, rmat_graph, rmat_db,
+                                          machine, tmp_path):
+        from repro.baselines import reference
+        from repro.core import GTSEngine, PageRankKernel
+        lazy = self._open(rmat_db, tmp_path, pool_pages=16)
+        result = GTSEngine(lazy, machine).run(PageRankKernel(iterations=3))
+        expected = reference.pagerank(rmat_graph, iterations=3)
+        assert np.allclose(result.values["rank"], expected, atol=1e-12)
+
+    def test_pool_size_validated(self, rmat_db, tmp_path):
+        from repro.format.io import FileBackedDatabase
+        prefix = str(tmp_path / "db")
+        save_database(rmat_db, prefix)
+        with pytest.raises(FormatError):
+            FileBackedDatabase(prefix, pool_pages=0)
+
+    def test_unknown_page_rejected(self, rmat_db, tmp_path):
+        lazy = self._open(rmat_db, tmp_path)
+        with pytest.raises(FormatError):
+            lazy.page(10 ** 6)

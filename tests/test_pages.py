@@ -1,0 +1,155 @@
+"""Tests for small/large slotted pages, including byte round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError
+from repro.format import PageFormatConfig
+from repro.format.page import LargePage, PageKind, SmallPage
+from repro.units import KB
+
+
+def _config(weight_bytes=0, page_size=2 * KB):
+    return PageFormatConfig(page_id_bytes=2, slot_bytes=2,
+                            page_size=page_size, weight_bytes=weight_bytes)
+
+
+def _small_page(config=None):
+    """Three records: degrees 2, 0, 1."""
+    config = config or _config()
+    return SmallPage(
+        page_id=0, start_vid=10,
+        adj_indptr=[0, 2, 2, 3],
+        adj_pids=[0, 1, 0],
+        adj_slots=[0, 3, 2],
+        adj_vids=[10, 99, 12],
+        config=config,
+    )
+
+
+class TestSmallPage:
+    def test_counts(self):
+        page = _small_page()
+        assert page.num_records == 3
+        assert page.num_edges == 3
+        assert page.kind is PageKind.SMALL
+
+    def test_vids_are_consecutive(self):
+        assert list(_small_page().vids()) == [10, 11, 12]
+
+    def test_degrees(self):
+        assert list(_small_page().degrees()) == [2, 0, 1]
+
+    def test_used_bytes(self):
+        page = _small_page()
+        config = page.config
+        records = 3 * config.adjlist_size_bytes + 3 * config.adjacency_entry_bytes
+        slots = 3 * config.slot_entry_bytes
+        assert page.used_bytes() == records + slots
+
+    def test_inconsistent_indptr_rejected(self):
+        with pytest.raises(FormatError):
+            SmallPage(0, 0, [0, 5], [1], [1], [1], _config())
+
+    def test_serialization_round_trip(self):
+        page = _small_page()
+        data = page.to_bytes()
+        assert len(data) == page.config.page_size
+        parsed = SmallPage.from_bytes(data, 0, page.num_records, page.config)
+        assert parsed.start_vid == page.start_vid
+        assert np.array_equal(parsed.adj_indptr, page.adj_indptr)
+        assert np.array_equal(parsed.adj_pids, page.adj_pids)
+        assert np.array_equal(parsed.adj_slots, page.adj_slots)
+
+    def test_serialization_with_weights(self):
+        config = _config(weight_bytes=4)
+        page = SmallPage(0, 0, [0, 2], [1, 2], [0, 0], [5, 9], config,
+                         adj_weights=[1.5, 2.5])
+        parsed = SmallPage.from_bytes(page.to_bytes(), 0, 1, config)
+        assert np.allclose(parsed.adj_weights, [1.5, 2.5])
+
+    def test_overflowing_page_rejected_on_serialize(self):
+        config = _config(page_size=2 * KB)
+        degree = config.max_degree_in_one_page() + 50
+        page = SmallPage(0, 0, [0, degree],
+                         np.zeros(degree), np.zeros(degree),
+                         np.zeros(degree), config)
+        with pytest.raises(FormatError):
+            page.to_bytes()
+
+    def test_field_overflow_rejected(self):
+        config = _config()
+        page = SmallPage(0, 0, [0, 1], [999999], [0], [1], config)
+        with pytest.raises(FormatError):
+            page.to_bytes()  # 999999 does not fit a 2-byte page ID
+
+
+class TestLargePage:
+    def _large(self, config=None, degree=5, total=12):
+        config = config or _config()
+        return LargePage(
+            page_id=7, vid=3, chunk_index=1,
+            adj_pids=list(range(degree)),
+            adj_slots=[0] * degree,
+            adj_vids=list(range(degree)),
+            config=config, total_degree=total)
+
+    def test_counts(self):
+        page = self._large()
+        assert page.num_records == 1
+        assert page.num_edges == 5
+        assert page.kind is PageKind.LARGE
+
+    def test_vids_matches_small_page_interface(self):
+        assert list(self._large().vids()) == [3]
+
+    def test_total_degree_spans_chunks(self):
+        page = self._large(degree=5, total=12)
+        assert page.total_degree == 12
+
+    def test_total_degree_defaults_to_chunk_size(self):
+        config = _config()
+        page = LargePage(0, 1, 0, [2], [0], [2], config)
+        assert page.total_degree == 1
+
+    def test_serialization_round_trip(self):
+        page = self._large()
+        parsed = LargePage.from_bytes(page.to_bytes(), 7, 1, page.config,
+                                      total_degree=12)
+        assert parsed.vid == 3
+        assert np.array_equal(parsed.adj_pids, page.adj_pids)
+        assert np.array_equal(parsed.adj_slots, page.adj_slots)
+        assert parsed.total_degree == 12
+
+    def test_used_bytes(self):
+        page = self._large(degree=5)
+        config = page.config
+        assert page.used_bytes() == (config.slot_entry_bytes
+                                     + config.adjlist_size_bytes
+                                     + 5 * config.adjacency_entry_bytes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_small_page_round_trip_property(data):
+    """Property: serialize/parse preserves any in-capacity small page."""
+    config = _config()
+    num_records = data.draw(st.integers(1, 20))
+    degrees = data.draw(st.lists(st.integers(0, 10),
+                                 min_size=num_records,
+                                 max_size=num_records))
+    indptr = np.concatenate([[0], np.cumsum(degrees)])
+    num_edges = int(indptr[-1])
+    pids = data.draw(st.lists(st.integers(0, 65535),
+                              min_size=num_edges, max_size=num_edges))
+    slots = data.draw(st.lists(st.integers(0, 65535),
+                               min_size=num_edges, max_size=num_edges))
+    start_vid = data.draw(st.integers(0, 10000))
+    page = SmallPage(0, start_vid, indptr, pids, slots,
+                     np.zeros(num_edges, dtype=np.int64), config)
+    parsed = SmallPage.from_bytes(page.to_bytes(), 0, num_records, config)
+    assert parsed.start_vid == start_vid
+    assert np.array_equal(parsed.adj_indptr, page.adj_indptr)
+    assert np.array_equal(parsed.adj_pids, page.adj_pids)
+    assert np.array_equal(parsed.adj_slots, page.adj_slots)

@@ -1,0 +1,104 @@
+"""Tests for event tracing and the Figure 4 timeline renderer."""
+
+import pytest
+
+from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.hardware.clock import Resource
+from repro.hardware.machine import MachineRuntime
+from repro.hardware.specs import paper_workstation
+from repro.hardware.trace import (
+    busy_fraction,
+    render_gpu_timeline,
+    render_lane,
+    timeline_density,
+)
+from repro.units import MB
+
+
+class TestResourceTracing:
+    def test_events_recorded_when_tracing(self):
+        resource = Resource("r", tracing=True)
+        resource.book(0.0, 1.0)
+        resource.book(2.0, 1.0)
+        assert resource.events == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_no_events_by_default(self):
+        resource = Resource("r")
+        resource.book(0.0, 1.0)
+        assert resource.events is None
+
+    def test_reset_clears_events(self):
+        resource = Resource("r", tracing=True)
+        resource.book(0.0, 1.0)
+        resource.reset()
+        assert resource.events == []
+
+
+class TestRenderLane:
+    def test_full_coverage(self):
+        lane = render_lane([(0.0, 10.0)], 0.0, 10.0, width=10)
+        assert lane == "=" * 10
+
+    def test_half_coverage(self):
+        lane = render_lane([(0.0, 5.0)], 0.0, 10.0, width=10)
+        assert lane.startswith("=====")
+        assert lane.endswith("....")
+
+    def test_empty_window(self):
+        assert render_lane([], 0.0, 0.0, width=8) == "." * 8
+
+    def test_custom_mark(self):
+        lane = render_lane([(0.0, 1.0)], 0.0, 1.0, width=4, mark="#")
+        assert lane == "####"
+
+
+class TestBusyFraction:
+    def test_simple(self):
+        assert busy_fraction([(0.0, 5.0)], 0.0, 10.0) == pytest.approx(0.5)
+
+    def test_clipped_to_window(self):
+        assert busy_fraction([(-5.0, 5.0)], 0.0, 10.0) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert busy_fraction([], 0.0, 10.0) == 0.0
+
+
+class TestEngineTimelines:
+    def test_timeline_attached_when_tracing(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine, tracing=True).run(
+            BFSKernel(0))
+        assert result.timeline is not None
+        assert "copy engine" in result.timeline
+        assert "stream[0]" in result.timeline
+
+    def test_no_timeline_by_default(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(BFSKernel(0))
+        assert result.timeline is None
+
+    def test_pagerank_denser_than_bfs(self, rmat_db, machine):
+        """The paper's Figure 4 observation, as a measured inequality."""
+        def density(kernel):
+            runtime = MachineRuntime(machine, num_streams=16,
+                                     page_bytes=rmat_db.config.page_size,
+                                     tracing=True)
+            engine = GTSEngine(rmat_db, machine, num_streams=16,
+                               tracing=True, enable_caching=False)
+            result = engine.run(kernel)
+            lines = [line for line in result.timeline.splitlines()
+                     if "stream[" in line]
+            return sum(float(line.rsplit("|", 1)[1].rstrip("% "))
+                       for line in lines) / len(lines)
+        assert density(PageRankKernel(iterations=2)) \
+            > density(BFSKernel(0))
+
+    def test_render_requires_tracing(self):
+        runtime = MachineRuntime(paper_workstation(), page_bytes=1 * MB)
+        with pytest.raises(ValueError):
+            render_gpu_timeline(runtime.gpus[0], 0.0, 1.0)
+
+    def test_timeline_density_helper(self):
+        runtime = MachineRuntime(paper_workstation(), num_streams=2,
+                                 page_bytes=1 * MB, tracing=True)
+        gpu = runtime.gpus[0]
+        gpu.book_kernel(gpu.streams.slots[0], 0.0, 1e9, 24.0)
+        assert 0.0 < timeline_density(gpu, 0.0, gpu.done_at()) <= 1.0

@@ -1,0 +1,65 @@
+"""Tests for byte/rate formatting helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert units.KB == 1024
+        assert units.MB == 1024 ** 2
+        assert units.GB == 1024 ** 3
+        assert units.TB == 1024 ** 4
+
+    def test_gbit_is_decimal(self):
+        assert units.GBIT == 10 ** 9
+
+
+class TestGbpsConversion:
+    def test_forty_gbps(self):
+        assert units.gbps_to_bytes_per_sec(40) == 5e9
+
+    def test_zero(self):
+        assert units.gbps_to_bytes_per_sec(0) == 0.0
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert units.format_bytes(17) == "17 B"
+
+    def test_kilobytes(self):
+        assert units.format_bytes(1536) == "1.50 KB"
+
+    def test_megabytes(self):
+        assert units.format_bytes(64 * units.MB) == "64.00 MB"
+
+    def test_gigabytes(self):
+        assert units.format_bytes(80 * units.GB) == "80.00 GB"
+
+    def test_terabytes(self):
+        assert units.format_bytes(2 * units.TB) == "2.00 TB"
+
+    def test_zero(self):
+        assert units.format_bytes(0) == "0 B"
+
+
+class TestFormatRate:
+    def test_gigabytes_per_second(self):
+        assert units.format_rate(6 * units.GB) == "6.00 GB/s"
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert units.format_seconds(2.5e-6) == "2.5 us"
+
+    def test_milliseconds(self):
+        assert units.format_seconds(0.0123) == "12.3 ms"
+
+    def test_seconds(self):
+        assert units.format_seconds(153.4) == "153.4 s"
+
+    @pytest.mark.parametrize("value", [1e-9, 1e-3, 0.5, 1.0, 3600.0])
+    def test_always_has_unit_suffix(self, value):
+        rendered = units.format_seconds(value)
+        assert rendered.endswith("s")
