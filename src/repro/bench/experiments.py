@@ -798,3 +798,40 @@ def naive_hit_rate_check(names=None, cache_pages=(8, 32, 128)):
                 pages, db.num_pages)))
         table.add_row(name, measured + naive)
     return table
+
+
+def cost_model_drift_report(names=None, algorithms=("BFS", "PageRank"),
+                            num_streams=32):
+    """Cost-model drift report: DES elapsed vs the Section 5 equations.
+
+    Runs each algorithm with the page cache off and the stream count at
+    the concurrency knee (32), the regime where Eq. 1 / Eq. 2 describe
+    the pipeline directly, and tabulates the signed drift.  The test
+    suite bounds these cells below 20 %; a scheduler regression that
+    serializes copies against kernels shows up here first.
+    """
+    from repro.obs import cost_model_drift
+
+    names = names or ["rmat26", "rmat27"]
+    table = ExperimentTable(
+        "Cost-model drift: simulated vs Eq.1/Eq.2 prediction",
+        names,
+        caption="Signed drift (positive = DES slower than the model); "
+                "cache off, %d streams." % num_streams)
+    for algorithm in algorithms:
+        cells = []
+        for name in names:
+            graph = dataset_graph(name)
+            db = dataset_database(name)
+            machine = _machine()
+            if algorithm == "BFS":
+                kernel = BFSKernel(default_start_vertex(graph))
+            else:
+                kernel = PageRankKernel(iterations=PAGERANK_ITERATIONS)
+            engine = GTSEngine(db, machine, num_streams=num_streams,
+                               enable_caching=False)
+            result = engine.run(kernel, dataset_name=name)
+            report = cost_model_drift(result, db, machine, kernel)
+            cells.append("%+.1f%%" % (100 * report.drift))
+        table.add_row(algorithm, cells)
+    return table

@@ -4,6 +4,8 @@ Subcommands:
 
 * ``run`` — run one algorithm on a registry dataset (or an edge-list
   file) through the GTS engine and print the result summary.
+* ``profile`` — a traced run: ASCII timeline, cost-model drift, and
+  optional Perfetto trace / metrics artifacts.
 * ``datasets`` — list the scaled experiment datasets (Table 3 view).
 * ``recommend`` — cost-based configuration advice (Section 5).
 * ``bench`` — regenerate one paper table/figure by ID.
@@ -12,13 +14,17 @@ Examples::
 
     python -m repro datasets
     python -m repro run --dataset rmat27 --algorithm pagerank --iterations 10
-    python -m repro run --edges my_graph.txt --algorithm bfs --start 0
+    python -m repro run --dataset rmat26 --algorithm bfs --json
+    python -m repro run --dataset rmat26 --algorithm pagerank \\
+        --trace-out trace.json --metrics-out metrics.json
+    python -m repro profile --dataset rmat26 --algorithm pagerank
     python -m repro recommend --dataset rmat32 --algorithm pagerank
     python -m repro bench --experiment fig9 --algorithm BFS
     python -m repro report
 """
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -80,6 +86,7 @@ EXPERIMENTS = {
         args.algorithm if args.algorithm in ("SSSP", "CC", "BC")
         else "SSSP"),
     "fig14": lambda args: experiments.figure14_micro(args.algorithm),
+    "drift": lambda args: experiments.cost_model_drift_report(),
 }
 
 
@@ -90,27 +97,47 @@ def build_parser():
         description="GTS (SIGMOD 2016) reproduction command line")
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_run_arguments(sub):
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument("--dataset", choices=sorted(DATASETS),
+                            help="registry dataset name")
+        source.add_argument("--edges", help="edge-list text file to load")
+        sub.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                         default="bfs")
+        sub.add_argument("--start", type=int, default=None,
+                         help="start/query vertex (default: busiest "
+                              "vertex)")
+        sub.add_argument("--iterations", type=int, default=10)
+        sub.add_argument("--k", type=int, default=2, help="k for k-core")
+        sub.add_argument("--strategy",
+                         choices=("performance", "scalability"),
+                         default="performance")
+        sub.add_argument("--streams", type=int, default=16)
+        sub.add_argument("--gpus", type=int, default=2)
+        sub.add_argument("--ssds", type=int, default=2)
+        sub.add_argument("--micro", choices=("edge", "vertex", "hybrid"),
+                         default="edge")
+        sub.add_argument("--no-cache", action="store_true")
+        sub.add_argument("--page-size", type=int, default=2 * KB)
+        sub.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON file "
+                              "(open in Perfetto / chrome://tracing)")
+        sub.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write run metrics (counters, gauges, "
+                              "histograms, cost-model drift) as JSON")
+
     run = commands.add_parser("run", help="run an algorithm through GTS")
-    source = run.add_mutually_exclusive_group(required=True)
-    source.add_argument("--dataset", choices=sorted(DATASETS),
-                        help="registry dataset name")
-    source.add_argument("--edges", help="edge-list text file to load")
-    run.add_argument("--algorithm", choices=sorted(ALGORITHMS),
-                     default="bfs")
-    run.add_argument("--start", type=int, default=None,
-                     help="start/query vertex (default: busiest vertex)")
-    run.add_argument("--iterations", type=int, default=10)
-    run.add_argument("--k", type=int, default=2, help="k for k-core")
-    run.add_argument("--strategy",
-                     choices=("performance", "scalability"),
-                     default="performance")
-    run.add_argument("--streams", type=int, default=16)
-    run.add_argument("--gpus", type=int, default=2)
-    run.add_argument("--ssds", type=int, default=2)
-    run.add_argument("--micro", choices=("edge", "vertex", "hybrid"),
-                     default="edge")
-    run.add_argument("--no-cache", action="store_true")
-    run.add_argument("--page-size", type=int, default=2 * KB)
+    add_run_arguments(run)
+    run.add_argument("--json", action="store_true",
+                     help="print the full RunResult as JSON instead of "
+                          "the one-line summary")
+
+    profile = commands.add_parser(
+        "profile",
+        help="traced run: ASCII timeline + cost-model drift report")
+    add_run_arguments(profile)
+    profile.add_argument("--width", type=int, default=72,
+                         help="ASCII timeline width in cells")
 
     commands.add_parser("datasets", help="list experiment datasets")
 
@@ -157,7 +184,8 @@ def _load_database(args):
     return graph, db, args.edges
 
 
-def _command_run(args):
+def _execute_run(args, tracing=False):
+    """Shared by ``run`` and ``profile``: build everything and run."""
     graph, db, name = _load_database(args)
     start = (args.start if args.start is not None
              else default_start_vertex(graph))
@@ -166,19 +194,68 @@ def _command_run(args):
     engine = GTSEngine(db, machine, strategy=args.strategy,
                        num_streams=args.streams,
                        micro_technique=args.micro,
-                       enable_caching=not args.no_cache)
+                       enable_caching=not args.no_cache,
+                       tracing=tracing)
     result = engine.run(kernel, dataset_name=name)
+    return result, db, machine, kernel
+
+
+def _write_artifacts(args, result, db, machine, kernel):
+    """Handle ``--trace-out`` / ``--metrics-out`` for run and profile."""
+    written = []
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(result.trace, args.trace_out)
+        written.append(("trace", args.trace_out))
+    if args.metrics_out:
+        from repro.obs import (
+            collect_run_metrics,
+            cost_model_drift,
+            record_drift,
+        )
+        registry = collect_run_metrics(result)
+        record_drift(cost_model_drift(result, db, machine, kernel),
+                     registry)
+        registry.to_json(args.metrics_out)
+        written.append(("metrics", args.metrics_out))
+    return written
+
+
+def _command_run(args):
+    result, db, machine, kernel = _execute_run(
+        args, tracing=bool(args.trace_out))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        for key, values in result.values.items():
+            values = np.asarray(values)
+            if values.size <= 4:
+                print("  %s: %s" % (key, values))
+            elif np.issubdtype(values.dtype, np.floating):
+                print("  %s: min %.4g  max %.4g  mean %.4g"
+                      % (key, values.min(), values.max(),
+                         values.mean()))
+            else:
+                print("  %s: min %s  max %s" % (key, values.min(),
+                                                values.max()))
+    for label, path in _write_artifacts(args, result, db, machine,
+                                        kernel):
+        print("wrote %s to %s" % (label, path), file=sys.stderr)
+    return 0
+
+
+def _command_profile(args):
+    from repro.obs import ascii_timeline, cost_model_drift
+    result, db, machine, kernel = _execute_run(args, tracing=True)
     print(result.summary())
-    for key, values in result.values.items():
-        values = np.asarray(values)
-        if values.size <= 4:
-            print("  %s: %s" % (key, values))
-        elif np.issubdtype(values.dtype, np.floating):
-            print("  %s: min %.4g  max %.4g  mean %.4g"
-                  % (key, values.min(), values.max(), values.mean()))
-        else:
-            print("  %s: min %s  max %s" % (key, values.min(),
-                                            values.max()))
+    print()
+    print(ascii_timeline(result.trace, width=args.width))
+    print()
+    print(cost_model_drift(result, db, machine, kernel).summary())
+    for label, path in _write_artifacts(args, result, db, machine,
+                                        kernel):
+        print("wrote %s to %s" % (label, path), file=sys.stderr)
     return 0
 
 
@@ -237,6 +314,7 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
+        "profile": _command_profile,
         "datasets": _command_datasets,
         "recommend": _command_recommend,
         "bench": _command_bench,
@@ -245,6 +323,10 @@ def main(argv=None):
     try:
         return handlers[args.command](args)
     except GTSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        # Artifact paths (--trace-out/--metrics-out) are user input.
         print("error: %s" % error, file=sys.stderr)
         return 1
 

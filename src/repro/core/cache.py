@@ -27,7 +27,8 @@ _POLICIES = ("lru", "fifo", "clock", "pin")
 class PageCache:
     """A fixed-capacity page cache for one GPU (``cachedPIDMap_i``)."""
 
-    def __init__(self, capacity_pages, policy="lru"):
+    def __init__(self, capacity_pages, policy="lru", recorder=None,
+                 gpu_index=None):
         if capacity_pages < 0:
             raise ConfigurationError("cache capacity cannot be negative")
         if policy not in _POLICIES:
@@ -36,6 +37,11 @@ class PageCache:
                 % (policy, ", ".join(_POLICIES)))
         self.capacity_pages = capacity_pages
         self.policy = policy
+        #: Optional TraceRecorder; probes and admissions carrying a
+        #: simulated time become cache_hit/miss/admit/evict instants on
+        #: this GPU's "page cache" lane.
+        self.recorder = recorder
+        self.lane = "gpu%d" % gpu_index if gpu_index is not None else "gpu"
         self._pages = OrderedDict()   # page_id -> referenced bit
         self.hits = 0
         self.misses = 0
@@ -46,10 +52,15 @@ class PageCache:
     def __len__(self):
         return len(self._pages)
 
-    def lookup(self, page_id):
-        """Probe the cache (Algorithm 1 line 16); counts hits/misses."""
+    def lookup(self, page_id, ts=None):
+        """Probe the cache (Algorithm 1 line 16); counts hits/misses.
+
+        ``ts`` is the simulated time of the probe, used only to
+        timestamp trace instants when a recorder is attached.
+        """
         if self.capacity_pages == 0:
             self.misses += 1
+            self._instant("cache_miss", page_id, ts)
             return False
         if page_id in self._pages:
             if self.policy == "lru":
@@ -57,11 +68,13 @@ class PageCache:
             elif self.policy == "clock":
                 self._pages[page_id] = True  # referenced bit
             self.hits += 1
+            self._instant("cache_hit", page_id, ts)
             return True
         self.misses += 1
+        self._instant("cache_miss", page_id, ts)
         return False
 
-    def admit(self, page_id):
+    def admit(self, page_id, ts=None):
         """Cache a page just streamed in; returns the evicted victim."""
         if self.capacity_pages == 0:
             return None
@@ -74,8 +87,16 @@ class PageCache:
             if self.policy == "pin":
                 return None  # resident set is stable once full
             victim = self._evict()
+            if victim is not None:
+                self._instant("cache_evict", victim, ts)
         self._pages[page_id] = False
+        self._instant("cache_admit", page_id, ts)
         return victim
+
+    def _instant(self, name, page_id, ts):
+        if self.recorder is not None and ts is not None:
+            self.recorder.instant(name, self.lane, "page cache", ts,
+                                  page=page_id, policy=self.policy)
 
     def _evict(self):
         if self.policy == "clock":

@@ -175,7 +175,9 @@ class GTSEngine:
             else:
                 capacity_pages = 0
             caches.append(PageCache(capacity_pages,
-                                    policy=self.cache_policy))
+                                    policy=self.cache_policy,
+                                    recorder=runtime.recorder,
+                                    gpu_index=gpu.index))
         return wa_total, caches
 
     # ------------------------------------------------------------------
@@ -188,11 +190,15 @@ class GTSEngine:
         wall_start = _time.perf_counter()
         db = self.db
         topology = db.topology_bytes()
+        recorder = None
+        if self.tracing:
+            from repro.obs.events import TraceRecorder
+            recorder = TraceRecorder()
         runtime = MachineRuntime(
             self.machine, num_streams=self.num_streams,
             page_bytes=db.config.page_size,
             mm_buffer_bytes=self._mm_buffer_capacity(),
-            tracing=self.tracing)
+            tracing=self.tracing, recorder=recorder)
         if runtime.storage is not None:
             runtime.storage.check_fits(topology)
         elif topology > runtime.mm_buffer.capacity_bytes:
@@ -251,10 +257,11 @@ class GTSEngine:
                 ra_bytes = db.ra_subvector_bytes(
                     pid, kernel.ra_bytes_per_vertex)
                 for g in self.strategy.assign(pid, runtime.num_gpus):
-                    if caches[g].lookup(pid):
+                    earliest = max(round_start, wa_ready[g])
+                    if caches[g].lookup(pid, ts=earliest):
                         stats.pages_from_cache += 1
                         scheduler.dispatch_cached(
-                            g, max(round_start, wa_ready[g]),
+                            g, earliest,
                             work.lane_steps, kernel.cycles_per_lane_step)
                     else:
                         ready = self._fetch(runtime, fetch_ready, pid,
@@ -264,7 +271,7 @@ class GTSEngine:
                         scheduler.dispatch_streamed(
                             g, max(ready, wa_ready[g]), copy_bytes,
                             work.lane_steps, kernel.cycles_per_lane_step)
-                        caches[g].admit(pid)
+                        caches[g].admit(pid, ts=earliest)
 
             # Lines 27-30: barrier, WA sync, nextPIDSet merge.
             barrier = max(gpu.done_at() for gpu in runtime.gpus)
@@ -280,6 +287,16 @@ class GTSEngine:
                           if next_pid_chunks else np.empty(0, dtype=np.int64))
             kernel.finish_round(state, merged)
             stats.end_time = runtime.now
+            if recorder is not None:
+                recorder.instant(
+                    "round_barrier", "engine", "rounds", barrier,
+                    round=round_index)
+                recorder.interval(
+                    "round", "engine", "rounds",
+                    stats.start_time, stats.end_time,
+                    round=round_index, description=plan.description,
+                    pages=stats.pages_dispatched,
+                    bytes=stats.bytes_streamed)
             rounds.append(stats)
             round_index += 1
 
@@ -322,8 +339,10 @@ class GTSEngine:
             num_gpus=runtime.num_gpus,
             num_streams=self.num_streams,
             strategy=self.strategy.name,
+            cache_policy=self.cache_policy,
             notes="preloaded" if preloaded else "cold storage",
             timeline=timeline,
+            trace=recorder,
         )
 
     # ------------------------------------------------------------------
@@ -335,7 +354,7 @@ class GTSEngine:
         """
         if pid in fetch_ready:
             return fetch_ready[pid]
-        if runtime.mm_buffer.lookup(pid):
+        if runtime.mm_buffer.lookup(pid, ts=round_start):
             stats.pages_from_buffer += 1
             ready = round_start
         else:

@@ -64,16 +64,26 @@ class RunResult:
     num_gpus: int = 1
     num_streams: int = 1
     strategy: str = ""
+    cache_policy: str = "lru"
     engine: str = "GTS"
     notes: Optional[str] = None
     #: Figure 4-style ASCII stream timeline (populated when the engine
     #: runs with ``tracing=True``).
     timeline: Optional[str] = None
+    #: Structured event stream (a :class:`repro.obs.events.TraceRecorder`)
+    #: when the engine ran with ``tracing=True``; feed it to
+    #: :func:`repro.obs.write_chrome_trace` for a Perfetto-loadable file.
+    trace: Optional[object] = None
 
     @property
     def cache_hit_rate(self):
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def mm_buffer_hit_rate(self):
+        total = self.mm_buffer_hits + self.mm_buffer_misses
+        return self.mm_buffer_hits / total if total else 0.0
 
     @property
     def transfer_to_kernel_ratio(self):
@@ -96,11 +106,86 @@ class RunResult:
 
     def summary(self):
         """One-line report used by examples and benches."""
+        ratio = self.transfer_to_kernel_ratio
         return (
             "%s on %s [%s, %d GPU(s), %d stream(s)]: %.6f s simulated, "
-            "%d rounds, %d pages streamed, cache hit rate %.1f%%"
+            "%d rounds, %d pages streamed, cache hit rate %.1f%%, "
+            "mm-buffer hit rate %.1f%%, transfer:kernel %s"
             % (self.algorithm, self.dataset, self.strategy or self.engine,
                self.num_gpus, self.num_streams, self.elapsed_seconds,
                self.num_rounds, self.pages_streamed,
-               100.0 * self.cache_hit_rate)
+               100.0 * self.cache_hit_rate,
+               100.0 * self.mm_buffer_hit_rate,
+               "inf" if ratio == float("inf") else "%.2f" % ratio)
         )
+
+    def to_dict(self, include_values=False):
+        """JSON-ready dict of the run (the CLI's ``--json`` payload).
+
+        Value arrays are summarised (dtype/size/min/max) unless
+        ``include_values`` is set; the trace recorder and the ASCII
+        timeline are always left out — export those with
+        :mod:`repro.obs.exporters`.
+        """
+        out = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "engine": self.engine,
+            "strategy": self.strategy,
+            "cache_policy": self.cache_policy,
+            "elapsed_seconds": self.elapsed_seconds,
+            "wall_seconds": self.wall_seconds,
+            "num_rounds": self.num_rounds,
+            "num_gpus": self.num_gpus,
+            "num_streams": self.num_streams,
+            "pages_streamed": self.pages_streamed,
+            "bytes_streamed": self.bytes_streamed,
+            "storage_bytes_read": self.storage_bytes_read,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mm_buffer_hits": self.mm_buffer_hits,
+            "mm_buffer_misses": self.mm_buffer_misses,
+            "mm_buffer_hit_rate": self.mm_buffer_hit_rate,
+            "transfer_busy_seconds": self.transfer_busy_seconds,
+            "kernel_busy_seconds": self.kernel_busy_seconds,
+            "kernel_stream_seconds": self.kernel_stream_seconds,
+            "kernel_invocations": self.kernel_invocations,
+            "edges_traversed": self.edges_traversed,
+            "mteps": self.mteps(),
+            "transfer_to_kernel_ratio": (
+                None if self.kernel_busy_seconds <= 0
+                else self.transfer_to_kernel_ratio),
+            "notes": self.notes,
+            "rounds": [
+                {
+                    "round_index": r.round_index,
+                    "description": r.description,
+                    "pages_dispatched": r.pages_dispatched,
+                    "pages_from_cache": r.pages_from_cache,
+                    "pages_from_buffer": r.pages_from_buffer,
+                    "pages_from_storage": r.pages_from_storage,
+                    "bytes_streamed": r.bytes_streamed,
+                    "edges_traversed": r.edges_traversed,
+                    "active_vertices": r.active_vertices,
+                    "start_time": r.start_time,
+                    "end_time": r.end_time,
+                    "elapsed": r.elapsed,
+                }
+                for r in self.rounds
+            ],
+        }
+        values = {}
+        for key, array in self.values.items():
+            array = np.asarray(array)
+            if include_values:
+                values[key] = array.tolist()
+            else:
+                summary = {"dtype": str(array.dtype),
+                           "size": int(array.size)}
+                if array.size:
+                    summary["min"] = array.min().item()
+                    summary["max"] = array.max().item()
+                values[key] = summary
+        out["values"] = values
+        return out

@@ -22,6 +22,12 @@ booked on the simulated resources at the end of a round.
 from repro.errors import ConfigurationError
 
 
+def _record(runtime, name, process, thread, start, end, **args):
+    """Emit a trace interval when the runtime carries a recorder."""
+    if runtime.recorder is not None:
+        runtime.recorder.interval(name, process, thread, start, end, **args)
+
+
 class Strategy:
     """Interface shared by the two multi-GPU strategies."""
 
@@ -66,7 +72,9 @@ class PerformanceStrategy(Strategy):
         ready = []
         duration = runtime.pcie.chunk_copy_time(wa_total_bytes)
         for gpu in runtime.gpus:
-            _, end = gpu.copy_engine.book(runtime.now, duration)
+            start, end = gpu.copy_engine.book(runtime.now, duration)
+            _record(runtime, "wa_broadcast", gpu.lane, "copy engine",
+                    start, end, bytes=wa_total_bytes)
             ready.append(end)
         return ready
 
@@ -76,17 +84,23 @@ class PerformanceStrategy(Strategy):
             # Control traffic only: one small transfer per GPU.
             end = earliest
             for _ in runtime.gpus:
-                _, end = runtime.host_bus.book(end, pcie.latency)
+                start, end = runtime.host_bus.book(end, pcie.latency)
+                _record(runtime, "wa_sync", "host", "bus", start, end,
+                        kind="control")
             return end
         # Steps 3-4 of Figure 5(a): peer-to-peer merge into the master
         # GPU, then one chunk copy of the merged WA to main memory.
         master = runtime.gpus[0]
         end = earliest
         for gpu in runtime.gpus[1:]:
-            _, end = master.copy_engine.book(
+            start, end = master.copy_engine.book(
                 end, pcie.p2p_copy_time(wa_total_bytes))
-        _, end = runtime.host_bus.book(
+            _record(runtime, "wa_sync", master.lane, "copy engine",
+                    start, end, kind="p2p_merge", source=gpu.index)
+        start, end = runtime.host_bus.book(
             end, pcie.chunk_copy_time(wa_total_bytes))
+        _record(runtime, "wa_sync", "host", "bus", start, end,
+                kind="chunk_copy", bytes=wa_total_bytes)
         return end
 
 
@@ -106,7 +120,9 @@ class ScalabilityStrategy(Strategy):
         chunk = self.wa_gpu_bytes(wa_total_bytes, runtime.num_gpus)
         duration = runtime.pcie.chunk_copy_time(chunk)
         for gpu in runtime.gpus:
-            _, end = gpu.copy_engine.book(runtime.now, duration)
+            start, end = gpu.copy_engine.book(runtime.now, duration)
+            _record(runtime, "wa_broadcast", gpu.lane, "copy engine",
+                    start, end, bytes=chunk)
             ready.append(end)
         return ready
 
@@ -115,15 +131,19 @@ class ScalabilityStrategy(Strategy):
         if not sync_full_wa:
             end = earliest
             for _ in runtime.gpus:
-                _, end = runtime.host_bus.book(end, pcie.latency)
+                start, end = runtime.host_bus.book(end, pcie.latency)
+                _record(runtime, "wa_sync", "host", "bus", start, end,
+                        kind="control")
             return end
         # Naive sync: N sequential chunk copies straight to main memory
         # (disjoint WA chunks cannot use the peer-to-peer merge).
         chunk = self.wa_gpu_bytes(wa_total_bytes, runtime.num_gpus)
         end = earliest
-        for _ in runtime.gpus:
-            _, end = runtime.host_bus.book(
+        for gpu in runtime.gpus:
+            start, end = runtime.host_bus.book(
                 end, pcie.chunk_copy_time(chunk))
+            _record(runtime, "wa_sync", "host", "bus", start, end,
+                    kind="chunk_copy", bytes=chunk, source=gpu.index)
         return end
 
 

@@ -57,9 +57,13 @@ class StreamScheduler:
         gpu = self.runtime.gpus[gpu_index]
         slot = self._next_slot(gpu)
         earliest = max(ready_time, slot.available_at)
-        _, copy_end = gpu.copy_engine.book(
+        copy_start, copy_end = gpu.copy_engine.book(
             earliest, self.runtime.pcie.stream_copy_time(copy_bytes))
         gpu.bytes_received += copy_bytes
+        if self.runtime.recorder is not None:
+            self.runtime.recorder.interval(
+                "h2d_copy", gpu.lane, "copy engine",
+                copy_start, copy_end, bytes=copy_bytes)
         kernel_end = gpu.book_kernel(slot, copy_end, lane_steps,
                                      cycles_per_lane_step)
         return copy_end, kernel_end

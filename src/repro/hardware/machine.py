@@ -13,11 +13,19 @@ from repro.hardware.storage import StorageArray
 
 
 class GPURuntime:
-    """Mutable per-run state of one GPU."""
+    """Mutable per-run state of one GPU.
 
-    def __init__(self, index, spec, num_streams, tracing=False):
+    ``recorder`` (a :class:`~repro.obs.events.TraceRecorder`) receives a
+    structured ``kernel`` event for every invocation booked here; it is
+    ``None`` on untraced runs, so the hot path pays one identity check.
+    """
+
+    def __init__(self, index, spec, num_streams, tracing=False,
+                 recorder=None):
         self.index = index
         self.spec = spec
+        self.recorder = recorder
+        self.lane = "gpu%d" % index
         effective_streams = min(num_streams, spec.max_concurrent_streams)
         #: Host-to-device copies serialize on the copy engine (Section 3.2:
         #: transfer operations cannot overlap each other, only kernels).
@@ -69,12 +77,19 @@ class GPURuntime:
         device_duration = self.spec.kernel_device_time(
             lane_steps, cycles_per_lane_step)
         _, capacity_end = self.compute.book(earliest, device_duration)
-        _, stream_end = slot.book(earliest, stream_duration)
+        stream_start, stream_end = slot.book(earliest, stream_duration)
         end = max(capacity_end, stream_end)
         slot.available_at = end
         self.kernel_invocations += 1
         self.kernel_busy_time += device_duration
         self.kernel_stream_time += stream_duration
+        if self.recorder is not None:
+            # The emitted interval mirrors the stream-slot booking
+            # exactly, so the ASCII renderer (which reads slot.events)
+            # and the Chrome trace agree on busy fractions.
+            self.recorder.interval(
+                "kernel", self.lane, slot.name.split(":")[-1],
+                stream_start, stream_end, lane_steps=lane_steps)
         return end
 
     def done_at(self):
@@ -94,21 +109,26 @@ class MachineRuntime:
     """All mutable simulation state for one engine run."""
 
     def __init__(self, spec, num_streams=16, page_bytes=None,
-                 mm_buffer_bytes=None, tracing=False):
+                 mm_buffer_bytes=None, tracing=False, recorder=None):
         if num_streams < 1:
             raise ConfigurationError("need at least one stream")
         self.spec = spec
         self.pcie = spec.pcie
         self.tracing = tracing
-        self.gpus = [GPURuntime(i, gpu_spec, num_streams, tracing=tracing)
+        #: Structured-event sink shared by every component of this run
+        #: (None unless the engine was built with tracing on).
+        self.recorder = recorder
+        self.gpus = [GPURuntime(i, gpu_spec, num_streams, tracing=tracing,
+                                recorder=recorder)
                      for i, gpu_spec in enumerate(spec.gpus)]
-        self.storage = (StorageArray(spec.storages)
+        self.storage = (StorageArray(spec.storages, recorder=recorder)
                         if spec.storages else None)
         page_bytes = page_bytes or 1
         buffer_bytes = (mm_buffer_bytes if mm_buffer_bytes is not None
                         else spec.main_memory)
         buffer_bytes = min(buffer_bytes, spec.main_memory)
-        self.mm_buffer = MainMemoryBuffer(buffer_bytes, page_bytes)
+        self.mm_buffer = MainMemoryBuffer(buffer_bytes, page_bytes,
+                                          recorder=recorder)
         #: Serialized host-side staging: copies of WA back to main memory.
         self.host_bus = Resource("host:bus")
         self.now = 0.0

@@ -29,7 +29,8 @@ _POLICIES = ("pin", "lru")
 class MainMemoryBuffer:
     """Page buffer of a fixed byte capacity (see module docstring)."""
 
-    def __init__(self, capacity_bytes, page_bytes, policy="pin"):
+    def __init__(self, capacity_bytes, page_bytes, policy="pin",
+                 recorder=None):
         if page_bytes <= 0:
             raise ConfigurationError("page size must be positive")
         if policy not in _POLICIES:
@@ -41,6 +42,9 @@ class MainMemoryBuffer:
         self.policy = policy
         self.capacity_pages = max(0, int(capacity_bytes // page_bytes))
         self._pages = OrderedDict()  # page_id -> None, LRU order
+        #: Optional TraceRecorder; probes with a known simulated time
+        #: become ``mm_buffer_hit`` / ``mm_buffer_miss`` instants.
+        self.recorder = recorder
         self.hits = 0
         self.misses = 0
 
@@ -50,14 +54,24 @@ class MainMemoryBuffer:
     def __len__(self):
         return len(self._pages)
 
-    def lookup(self, page_id):
-        """Check residency, update recency and hit/miss counters."""
+    def lookup(self, page_id, ts=None):
+        """Check residency, update recency and hit/miss counters.
+
+        ``ts`` is the simulated time of the probe; when tracing is on it
+        timestamps the emitted hit/miss instant.
+        """
         if page_id in self._pages:
             if self.policy == "lru":
                 self._pages.move_to_end(page_id)
             self.hits += 1
+            if self.recorder is not None and ts is not None:
+                self.recorder.instant("mm_buffer_hit", "host", "mm buffer",
+                                      ts, page=page_id)
             return True
         self.misses += 1
+        if self.recorder is not None and ts is not None:
+            self.recorder.instant("mm_buffer_miss", "host", "mm buffer",
+                                  ts, page=page_id)
         return False
 
     def admit(self, page_id):
@@ -92,6 +106,10 @@ class MainMemoryBuffer:
     def hit_rate(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def resident_bytes(self):
+        """Bytes currently buffered (a gauge for the metrics registry)."""
+        return len(self._pages) * self.page_bytes
 
     def reset_counters(self):
         self.hits = 0

@@ -14,12 +14,15 @@ from repro.hardware.clock import Resource
 class StorageArray:
     """A set of storage devices with pages striped across them."""
 
-    def __init__(self, specs, hash_function=None):
+    def __init__(self, specs, hash_function=None, recorder=None):
         if not specs:
             raise SimulationError("storage array needs at least one device")
         self.specs = list(specs)
         self.channels = [Resource("storage:%s" % spec.name) for spec in specs]
         self._hash = hash_function or (lambda pid: pid % len(self.specs))
+        #: Optional TraceRecorder; each fetch becomes an ``ssd_fetch``
+        #: interval on the device's lane.
+        self.recorder = recorder
         self.bytes_read = 0
         self.pages_fetched = 0
 
@@ -53,6 +56,10 @@ class StorageArray:
         start, end = self.channels[device].book(earliest, duration)
         self.bytes_read += num_bytes
         self.pages_fetched += 1
+        if self.recorder is not None:
+            self.recorder.interval(
+                "ssd_fetch", "storage", self.specs[device].name,
+                start, end, page=page_id, bytes=num_bytes)
         return start, end
 
     def aggregate_bandwidth(self):

@@ -12,19 +12,29 @@ renders those interval lists as a character Gantt chart:
 * ``.`` — idle.
 """
 
+import math
+
+from repro.errors import ConfigurationError
 from repro.units import format_seconds
 
 
 def render_lane(events, t0, t1, width, mark="="):
-    """Render one resource's ``(start, end)`` intervals as a lane."""
+    """Render one resource's ``(start, end)`` intervals as a lane.
+
+    Zero-length intervals paint nothing: a cell is marked only when the
+    interval genuinely covers part of it, so an instantaneous booking no
+    longer shows up as a full-width-cell bar.
+    """
     if t1 <= t0:
         return "." * width
     cells = ["."] * width
     scale = width / (t1 - t0)
     for start, end in events:
+        if end <= start:
+            continue
         lo = int(max(0.0, (start - t0)) * scale)
-        hi = int(max(0.0, (end - t0)) * scale)
-        hi = min(width - 1, max(hi, lo))
+        hi = min(width - 1,
+                 max(lo, int(math.ceil(max(0.0, (end - t0)) * scale)) - 1))
         for i in range(lo, hi + 1):
             if i < width:
                 cells[i] = mark
@@ -44,7 +54,7 @@ def busy_fraction(events, t0, t1):
 def render_gpu_timeline(gpu, t0, t1, width=72, max_streams=16):
     """Figure 4-style view of one GPU's copy engine and streams."""
     if gpu.copy_engine.events is None:
-        raise ValueError(
+        raise ConfigurationError(
             "tracing was not enabled on this runtime "
             "(pass tracing=True to MachineRuntime / the engine)")
     lines = []

@@ -1,0 +1,84 @@
+"""Observability for the GTS reproduction (``repro.obs``).
+
+Three layers over one event stream:
+
+* :mod:`repro.obs.events` — typed :class:`TraceEvent` records captured
+  by a :class:`TraceRecorder` threaded through the engine, the stream
+  scheduler, the page caches, the main-memory buffer and the storage
+  array (``ssd_fetch``, ``h2d_copy``, ``kernel``, ``cache_*``,
+  ``mm_buffer_*``, ``wa_broadcast``, ``wa_sync``, ``round``).
+* :mod:`repro.obs.exporters` — Chrome trace-event JSON for
+  Perfetto/chrome://tracing plus the Figure 4-style ASCII view, both
+  rendered from the same recorder.
+* :mod:`repro.obs.metrics` / :mod:`repro.obs.drift` — a
+  :class:`MetricsRegistry` (counters/gauges/histograms, JSON/JSONL
+  serialization) and the :class:`CostModelDrift` report comparing each
+  run's simulated time against the Eq. 1/Eq. 2 analytic prediction.
+
+Observability is pay-for-use: with ``tracing=False`` nothing is
+recorded and the dispatch hot path takes no measurable overhead.
+"""
+
+from repro.obs.drift import CostModelDrift, cost_model_drift, record_drift
+from repro.obs.events import (
+    CACHE_ADMIT,
+    CACHE_EVICT,
+    CACHE_HIT,
+    CACHE_MISS,
+    H2D_COPY,
+    KERNEL,
+    MM_BUFFER_HIT,
+    MM_BUFFER_MISS,
+    ROUND,
+    ROUND_BARRIER,
+    SSD_FETCH,
+    WA_BROADCAST,
+    WA_SYNC,
+    TraceEvent,
+    TraceRecorder,
+)
+from repro.obs.exporters import (
+    MICROSECONDS,
+    ascii_timeline,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "SSD_FETCH",
+    "H2D_COPY",
+    "KERNEL",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_ADMIT",
+    "CACHE_EVICT",
+    "MM_BUFFER_HIT",
+    "MM_BUFFER_MISS",
+    "WA_BROADCAST",
+    "WA_SYNC",
+    "ROUND",
+    "ROUND_BARRIER",
+    "MICROSECONDS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "ascii_timeline",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_run_metrics",
+    "CostModelDrift",
+    "cost_model_drift",
+    "record_drift",
+]

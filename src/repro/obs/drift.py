@@ -1,0 +1,174 @@
+"""Cost-model drift: measured DES time versus the Section 5 equations.
+
+The paper's Equations 1 and 2 (:mod:`repro.core.cost_model`) predict
+elapsed time from workload sizes and hardware rates.  This module closes
+the loop: after every run it re-evaluates the equations *with the run's
+measured workload* (bytes actually streamed, pages actually dispatched,
+kernel work actually performed — all deterministic functions of the
+algorithm, not of the scheduler) and reports the relative drift between
+the DES elapsed time and the analytic prediction.
+
+The prediction applies the equations the way the pipeline executes them:
+within a round, streaming copies, kernel execution and storage reads
+overlap (Figures 3–4), so the round's cost is the *maximum* of the three
+resource terms rather than their sum, followed by the serial WA
+synchronisation term.  This is exactly the reading under which the paper
+derives its numbers ("the time for processing the kernels is hidden by
+the data transfer time"), and it makes drift a sharp regression signal:
+if a scheduler change serializes copies against kernels, or double-books
+a resource, the DES time detaches from the analytic envelope and the
+drift gauge moves.
+
+Drift is emitted as a metric (``cost_model.drift``) so the bench
+trajectory records it per run; the test suite asserts it stays below
+20 % on the small registry datasets.
+"""
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModelDrift:
+    """Comparison of one run against its analytic cost-model prediction.
+
+    ``drift`` is signed — positive when the DES ran slower than the
+    model predicts; ``abs_drift`` is the magnitude the tests bound.
+    """
+
+    algorithm: str
+    dataset: str
+    model: str                     # "eq1" (full-scan) or "eq2" (traversal)
+    simulated_seconds: float
+    predicted_seconds: float
+    components: Dict[str, float]   # named term contributions (seconds)
+
+    @property
+    def drift(self):
+        if self.predicted_seconds <= 0:
+            return 0.0 if self.simulated_seconds <= 0 else float("inf")
+        return (self.simulated_seconds - self.predicted_seconds) \
+            / self.predicted_seconds
+
+    @property
+    def abs_drift(self):
+        return abs(self.drift)
+
+    def summary(self):
+        return ("%s on %s [%s]: simulated %.6f s vs predicted %.6f s "
+                "(drift %+.1f%%)"
+                % (self.algorithm, self.dataset, self.model,
+                   self.simulated_seconds, self.predicted_seconds,
+                   100.0 * self.drift))
+
+
+def _sync_seconds(machine, strategy_name, num_gpus, wa_bytes, full_wa):
+    """Per-round WA synchronisation time, mirroring
+    :meth:`repro.core.strategies.Strategy.book_sync`."""
+    pcie = machine.pcie
+    if not full_wa:
+        return num_gpus * pcie.latency
+    if strategy_name == "scalability":
+        chunk = -(-wa_bytes // num_gpus)
+        return num_gpus * pcie.chunk_copy_time(chunk)
+    merge = sum(pcie.p2p_copy_time(wa_bytes) for _ in range(num_gpus - 1))
+    return merge + pcie.chunk_copy_time(wa_bytes)
+
+
+def cost_model_drift(result, db, machine, kernel):
+    """Build a :class:`CostModelDrift` report for a finished run.
+
+    ``db``, ``machine`` and ``kernel`` must be the objects the engine
+    ran with (the prediction needs |WA|, page sizes and hardware rates).
+    """
+    if result.num_rounds == 0:
+        raise ConfigurationError(
+            "cannot compute drift for a run with no rounds")
+    gpu = machine.gpus[0]
+    pcie = machine.pcie
+    n = result.num_gpus
+    wa_bytes = kernel.wa_bytes(db.num_vertices)
+    replication = n if result.strategy == "scalability" else 1
+    wa_gpu = (-(-wa_bytes // n) if result.strategy == "scalability"
+              else wa_bytes)
+
+    # Concurrency factor: k streams drain kernels at min(k/16, 1) of the
+    # device rate (ARCHITECTURE.md §2, Figure 10).
+    k = min(result.num_streams, gpu.max_concurrent_streams)
+    concurrency = min(1.0, k * gpu.single_stream_fraction)
+
+    total_edges = max(1, result.edges_traversed)
+    storage_bw = (machine.num_storages
+                  * machine.storages[0].read_bandwidth
+                  if machine.storages else 0.0)
+
+    # Eq. 1's pipeline-drain term t_kernel(SP_1 + LP_1): each round ends
+    # with the barrier waiting out one last kernel at the single-stream
+    # rate; the run's mean stream-level kernel time estimates it.
+    drain = (result.kernel_stream_seconds / result.kernel_invocations
+             if result.kernel_invocations else 0.0)
+
+    transfer_total = kernel_total = storage_total = 0.0
+    sync_total = pipeline = 0.0
+    for stats in result.rounds:
+        copies = max(0, stats.pages_dispatched * replication
+                     - stats.pages_from_cache)
+        # Per-GPU copy-engine occupancy: its share of the streamed bytes
+        # at the c2 streaming rate, plus per-copy launch latency.
+        transfer = (stats.bytes_streamed / (pcie.stream_bandwidth * n)
+                    + pcie.latency * copies / n)
+        # Per-GPU kernel time at the achieved stream concurrency; the
+        # run's total device-kernel work is apportioned to rounds by
+        # traversed edges (lane-steps track edges for every micro model).
+        share = stats.edges_traversed / total_edges
+        kernel_t = (result.kernel_busy_seconds * share / (n * concurrency)
+                    + gpu.kernel_launch_overhead
+                    * stats.pages_dispatched * replication / n)
+        storage = 0.0
+        if storage_bw > 0 and stats.pages_from_storage:
+            storage_bytes = stats.pages_from_storage * db.config.page_size
+            storage = (storage_bytes / storage_bw
+                       + machine.storages[0].access_latency
+                       * stats.pages_from_storage / machine.num_storages)
+        transfer_total += transfer
+        kernel_total += kernel_t
+        storage_total += storage
+        sync_total += _sync_seconds(machine, result.strategy, n, wa_bytes,
+                                    full_wa=not kernel.traversal)
+        # Rounds overlap copy/kernel/storage internally but serialize on
+        # the end-of-round barrier: the pipeline bound is per-round max,
+        # plus the drain of the round's final kernel.
+        pipeline += max(transfer, kernel_t, storage)
+        if stats.pages_dispatched:
+            pipeline += drain
+    wa_broadcast = pcie.chunk_copy_time(wa_gpu)
+    predicted = wa_broadcast + pipeline + sync_total
+    return CostModelDrift(
+        algorithm=result.algorithm,
+        dataset=result.dataset,
+        model="eq2" if kernel.traversal else "eq1",
+        simulated_seconds=result.elapsed_seconds,
+        predicted_seconds=predicted,
+        components={
+            "wa_broadcast": wa_broadcast,
+            "transfer": transfer_total,
+            "kernel": kernel_total,
+            "storage": storage_total,
+            "sync": sync_total,
+            "drain": drain * result.num_rounds,
+            "pipeline": pipeline,
+        },
+    )
+
+
+def record_drift(report, registry):
+    """Emit a drift report into a metrics registry (gauges)."""
+    registry.gauge("cost_model.drift",
+                   "signed relative drift vs Eq.1/Eq.2").set(report.drift)
+    registry.gauge("cost_model.abs_drift").set(report.abs_drift)
+    registry.gauge("cost_model.predicted_seconds").set(
+        report.predicted_seconds)
+    registry.meta.setdefault("cost_model", report.model)
+    return registry

@@ -1,0 +1,168 @@
+"""Typed trace events and the recorder that collects them.
+
+The discrete-event machine already *books* every activity on a resource
+timeline (:mod:`repro.hardware.clock`); this module gives those bookings
+an identity.  A :class:`TraceRecorder` threaded through the engine, the
+stream scheduler, the page caches, the main-memory buffer and the
+storage array captures each activity as a :class:`TraceEvent` with a
+semantic name, a category, and a *resource lane* — the (process, thread)
+pair the Chrome trace-event format uses to draw swimlanes, mapped here
+onto the simulated hardware:
+
+=================  ==========================  =======================
+process            thread                      events
+=================  ==========================  =======================
+``engine``         ``rounds``                  ``round``, ``round_barrier``
+``gpu<i>``         ``copy engine``             ``h2d_copy``, ``wa_broadcast``, ``wa_sync``
+``gpu<i>``         ``stream[<s>]``             ``kernel``
+``gpu<i>``         ``page cache``              ``cache_hit/miss/admit/evict``
+``host``           ``mm buffer``               ``mm_buffer_hit/miss``
+``host``           ``bus``                     ``wa_sync``
+``storage``        ``<device name>``           ``ssd_fetch``
+=================  ==========================  =======================
+
+Interval events on a single lane never overlap, because every interval
+mirrors a booking on a serialized :class:`~repro.hardware.clock.Resource`
+(the tests assert this).  Recording is pay-for-use: components hold
+``recorder=None`` by default and guard every emission, so untraced runs
+take no measurable overhead.
+"""
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Event taxonomy (names are stable identifiers; exporters rely on them).
+# ---------------------------------------------------------------------------
+SSD_FETCH = "ssd_fetch"
+H2D_COPY = "h2d_copy"
+KERNEL = "kernel"
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+CACHE_ADMIT = "cache_admit"
+CACHE_EVICT = "cache_evict"
+MM_BUFFER_HIT = "mm_buffer_hit"
+MM_BUFFER_MISS = "mm_buffer_miss"
+WA_BROADCAST = "wa_broadcast"
+WA_SYNC = "wa_sync"
+ROUND = "round"
+ROUND_BARRIER = "round_barrier"
+
+#: Event name -> category (the Chrome ``cat`` field, used for filtering
+#: in the Perfetto UI).
+CATEGORIES = {
+    SSD_FETCH: "storage",
+    H2D_COPY: "transfer",
+    KERNEL: "kernel",
+    CACHE_HIT: "cache",
+    CACHE_MISS: "cache",
+    CACHE_ADMIT: "cache",
+    CACHE_EVICT: "cache",
+    MM_BUFFER_HIT: "buffer",
+    MM_BUFFER_MISS: "buffer",
+    WA_BROADCAST: "sync",
+    WA_SYNC: "sync",
+    ROUND: "round",
+    ROUND_BARRIER: "round",
+}
+
+#: Phase markers matching the Chrome trace-event ``ph`` field.
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One structured event on the simulated timeline.
+
+    ``start`` and ``duration`` are simulated seconds; instants carry a
+    zero duration.  ``process`` / ``thread`` name the resource lane.
+    """
+
+    name: str
+    category: str
+    phase: str
+    start: float
+    duration: float
+    process: str
+    thread: str
+    args: Optional[Dict[str, object]] = None
+
+    @property
+    def end(self):
+        return self.start + self.duration
+
+    @property
+    def lane(self) -> Tuple[str, str]:
+        return (self.process, self.thread)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects from one engine run.
+
+    The recorder is append-only during a run; exporters
+    (:mod:`repro.obs.exporters`) turn the finished stream into Chrome
+    trace JSON or the Figure 4-style ASCII view.
+    """
+
+    def __init__(self):
+        self.events = []
+        self._lanes = {}  # (process, thread) -> insertion index
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- emission ----------------------------------------------------------
+    def interval(self, name, process, thread, start, end, **args):
+        """Record a complete event spanning ``[start, end]``."""
+        self._emit(TraceEvent(
+            name=name, category=CATEGORIES.get(name, "misc"),
+            phase=PHASE_COMPLETE, start=start,
+            duration=max(0.0, end - start),
+            process=process, thread=thread, args=args or None))
+
+    def instant(self, name, process, thread, ts, **args):
+        """Record a zero-duration instant event at ``ts``."""
+        self._emit(TraceEvent(
+            name=name, category=CATEGORIES.get(name, "misc"),
+            phase=PHASE_INSTANT, start=ts, duration=0.0,
+            process=process, thread=thread, args=args or None))
+
+    def _emit(self, event):
+        self._lanes.setdefault(event.lane, len(self._lanes))
+        self.events.append(event)
+
+    # -- queries -----------------------------------------------------------
+    def lanes(self):
+        """All (process, thread) lanes in first-appearance order."""
+        return sorted(self._lanes, key=self._lanes.__getitem__)
+
+    def select(self, name=None, category=None, process=None, thread=None):
+        """Events filtered by any combination of fields."""
+        return [e for e in self.events
+                if (name is None or e.name == name)
+                and (category is None or e.category == category)
+                and (process is None or e.process == process)
+                and (thread is None or e.thread == thread)]
+
+    def busy_intervals(self, process, thread):
+        """``(start, end)`` pairs of the lane's interval events — the same
+        shape :func:`repro.hardware.trace.render_lane` consumes."""
+        return [(e.start, e.end)
+                for e in self.events
+                if e.phase == PHASE_COMPLETE
+                and e.process == process and e.thread == thread]
+
+    def end_time(self):
+        """Timestamp of the latest event edge (0.0 when empty)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def counts(self):
+        """Event-name -> occurrence count (handy in tests and reports)."""
+        out = {}
+        for event in self.events:
+            out[event.name] = out.get(event.name, 0) + 1
+        return out

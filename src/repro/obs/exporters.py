@@ -1,0 +1,168 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and the ASCII view.
+
+``chrome_trace`` turns a :class:`~repro.obs.events.TraceRecorder` into
+the Chrome trace-event JSON object format — load the written file at
+https://ui.perfetto.dev or ``chrome://tracing`` to get the real Figure 4:
+per-GPU swimlanes for the copy engine and every stream, SSD channels,
+the main-memory buffer and the engine's round markers.
+
+``ascii_timeline`` renders the *same* event stream with the Figure
+4-style character Gantt chart (sharing
+:func:`repro.hardware.trace.render_lane`), so the two views agree by
+construction — a property the test suite asserts on busy fractions.
+"""
+
+import json
+import os
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    H2D_COPY,
+    KERNEL,
+    PHASE_COMPLETE,
+    PHASE_INSTANT,
+    SSD_FETCH,
+    WA_BROADCAST,
+    WA_SYNC,
+)
+
+#: Simulated seconds -> Chrome trace microseconds.
+MICROSECONDS = 1e6
+
+
+def _lane_ids(recorder):
+    """Stable (process -> pid, (process, thread) -> tid) assignments."""
+    pids, tids = {}, {}
+    for process, thread in recorder.lanes():
+        pids.setdefault(process, len(pids))
+        tids.setdefault((process, thread),
+                        len([k for k in tids if k[0] == process]))
+    return pids, tids
+
+
+def chrome_trace(recorder, time_scale=MICROSECONDS):
+    """Build the Chrome trace-event JSON object for a recorded run.
+
+    Returns a dict with ``traceEvents`` (metadata + complete/instant
+    events) and ``displayTimeUnit``.  Timestamps are simulated seconds
+    multiplied by ``time_scale`` (microseconds by default, the unit the
+    trace viewers assume).
+    """
+    if recorder is None:
+        raise ConfigurationError(
+            "no trace was recorded (run the engine with tracing=True)")
+    pids, tids = _lane_ids(recorder)
+    events = []
+    for process, pid in pids.items():
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": process}})
+    for (process, thread), tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name",
+                       "pid": pids[process], "tid": tid,
+                       "args": {"name": thread}})
+    for event in recorder.events:
+        record = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": event.start * time_scale,
+            "pid": pids[event.process],
+            "tid": tids[(event.process, event.thread)],
+        }
+        if event.phase == PHASE_COMPLETE:
+            record["dur"] = event.duration * time_scale
+        elif event.phase == PHASE_INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        if event.args:
+            record["args"] = dict(event.args)
+        events.append(record)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder, path, time_scale=MICROSECONDS):
+    """Write the Chrome trace JSON for ``recorder`` to ``path``."""
+    payload = chrome_trace(recorder, time_scale=time_scale)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+#: Lane-name substring -> ASCII mark, mirroring the Figure 4 legend.
+_MARKS = {
+    KERNEL: "=",
+    H2D_COPY: "#",
+    WA_BROADCAST: "#",
+    WA_SYNC: "#",
+    SSD_FETCH: "~",
+}
+
+
+def ascii_timeline(recorder, t0=0.0, t1=None, width=72):
+    """Figure 4-style ASCII Gantt chart over the recorded event stream.
+
+    One lane per resource, grouped by process; ``=`` marks kernels,
+    ``#`` transfers, ``~`` storage reads.  This is the same renderer the
+    legacy per-resource view uses (:mod:`repro.hardware.trace`), applied
+    to :class:`~repro.obs.events.TraceRecorder` lanes.
+    """
+    from repro.hardware.trace import busy_fraction, render_lane
+    from repro.units import format_seconds
+
+    if recorder is None:
+        raise ConfigurationError(
+            "no trace was recorded (run the engine with tracing=True)")
+    if t1 is None:
+        t1 = recorder.end_time()
+    lines = ["trace over %s  ('#'=copy, '='=kernel, '~'=storage)"
+             % format_seconds(t1 - t0)]
+    # Group lanes by process (first appearance), keep per-process thread
+    # order — so gpu0's copy engine and streams render contiguously.
+    first = {}
+    for index, (process, _) in enumerate(recorder.lanes()):
+        first.setdefault(process, index)
+    lanes = sorted(recorder.lanes(), key=lambda lane: first[lane[0]])
+    for process, thread in lanes:
+        intervals = recorder.busy_intervals(process, thread)
+        if not intervals:
+            continue  # instant-only lanes (caches, buffers) have no bars
+        marks = [_MARKS.get(e.name) for e in
+                 recorder.select(process=process, thread=thread)
+                 if e.phase == PHASE_COMPLETE]
+        mark = next((m for m in marks if m), "=")
+        lane = render_lane(intervals, t0, t1, width, mark=mark)
+        lines.append("  %-22s |%s| %4.0f%%"
+                     % ("%s/%s" % (process, thread), lane,
+                        100 * busy_fraction(intervals, t0, t1)))
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(payload):
+    """Schema-check a Chrome trace object; returns the event list.
+
+    Raises :class:`~repro.errors.ConfigurationError` on malformed
+    events — used by the CLI smoke job and the test suite.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ConfigurationError(
+            "not a Chrome trace object (missing 'traceEvents')")
+    events = payload["traceEvents"]
+    for event in events:
+        for field in ("ph", "name", "pid", "tid"):
+            if field not in event:
+                raise ConfigurationError(
+                    "trace event missing %r: %r" % (field, event))
+        if event["ph"] == "X":
+            if "ts" not in event or "dur" not in event:
+                raise ConfigurationError(
+                    "complete event missing ts/dur: %r" % (event,))
+            if event["dur"] < 0 or event["ts"] < 0:
+                raise ConfigurationError(
+                    "negative ts/dur: %r" % (event,))
+        elif event["ph"] == "i":
+            if "ts" not in event:
+                raise ConfigurationError(
+                    "instant event missing ts: %r" % (event,))
+    return events

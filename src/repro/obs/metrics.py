@@ -1,0 +1,247 @@
+"""Metrics registry: counters, gauges and histograms for engine runs.
+
+The registry is deliberately small — named instruments with JSON-ready
+snapshots — so ``bench/harness.py`` can persist per-run metrics next to
+``results/`` and future PRs accumulate a performance trajectory instead
+of one-off summary lines.
+
+Conventions
+-----------
+* **Counter** — monotonically increasing totals (bytes streamed, cache
+  hits).
+* **Gauge** — point-in-time values (elapsed seconds, hit rates, drift).
+* **Histogram** — per-observation distributions (round latency, per-round
+  copy bytes); snapshots report count/sum/min/max/mean and p50/p95/p99.
+
+``collect_run_metrics`` maps a :class:`~repro.core.result.RunResult`
+onto these instruments with stable metric names, which is what the CLI's
+``--metrics-out`` and the bench harness write out.
+"""
+
+import dataclasses
+import json
+import os
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ConfigurationError(
+                "counter %r cannot decrease (inc %r)" % (self.name, amount))
+        self.value += amount
+        return self.value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+        return value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """A distribution of observations with quantile snapshots."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.values = []
+
+    def observe(self, value):
+        self.values.append(float(value))
+
+    @staticmethod
+    def _quantile(ordered, q):
+        if not ordered:
+            return None
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def snapshot(self):
+        ordered = sorted(self.values)
+        if not ordered:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": self._quantile(ordered, 0.50),
+            "p95": self._quantile(ordered, 0.95),
+            "p99": self._quantile(ordered, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus run-level metadata, serializable to JSON.
+
+    ``meta`` holds identifying labels (algorithm, dataset, strategy, …)
+    that distinguish runs inside a shared JSONL file.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, object]] = None):
+        self.meta = dict(meta or {})
+        self._instruments = {}
+
+    def _get(self, cls, name, help):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help=help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ConfigurationError(
+                "metric %r already registered as a %s"
+                % (name, instrument.kind))
+        return instrument
+
+    def counter(self, name, help="") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name, help="") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name, help="") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __getitem__(self, name):
+        return self._instruments[name]
+
+    def names(self):
+        return sorted(self._instruments)
+
+    # -- serialization -----------------------------------------------------
+    def as_dict(self):
+        """JSON-ready snapshot: ``{"meta": ..., "metrics": {name: ...}}``."""
+        metrics = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            metrics[name] = {
+                "kind": instrument.kind,
+                "value": instrument.snapshot(),
+            }
+        return {"meta": dict(self.meta), "metrics": metrics}
+
+    def to_json(self, path=None, indent=2):
+        """Serialize to a JSON string, optionally writing ``path``."""
+        payload = json.dumps(self.as_dict(), indent=indent, sort_keys=True,
+                             default=_jsonable)
+        if path is not None:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(payload + "\n")
+        return payload
+
+    def append_jsonl(self, path):
+        """Append this registry as one JSONL line (the bench trajectory
+        format: one line per run, greppable and diff-friendly)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(json.dumps(self.as_dict(), sort_keys=True,
+                                    default=_jsonable) + "\n")
+        return path
+
+
+def _jsonable(value):
+    """Fallback encoder for numpy scalars and dataclasses."""
+    if dataclasses.is_dataclass(value):
+        return dataclasses.asdict(value)
+    for attribute in ("item",):  # numpy scalar -> python scalar
+        if hasattr(value, attribute):
+            return getattr(value, attribute)()
+    return str(value)
+
+
+def collect_run_metrics(result, registry=None):
+    """Populate a registry from a :class:`~repro.core.result.RunResult`.
+
+    Returns the registry (a fresh one when none is given).  Metric names
+    are stable: changing them breaks the bench trajectory files.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    registry.meta.setdefault("algorithm", result.algorithm)
+    registry.meta.setdefault("dataset", result.dataset)
+    registry.meta.setdefault("engine", result.engine)
+    registry.meta.setdefault("strategy", result.strategy)
+    registry.meta.setdefault("num_gpus", result.num_gpus)
+    registry.meta.setdefault("num_streams", result.num_streams)
+
+    registry.gauge("run.elapsed_seconds",
+                   "simulated wall-clock").set(result.elapsed_seconds)
+    registry.gauge("run.wall_seconds",
+                   "real host compute time").set(result.wall_seconds)
+    registry.gauge("run.num_rounds", "engine rounds").set(result.num_rounds)
+    registry.gauge("run.mteps",
+                   "millions of traversed edges per simulated second"
+                   ).set(result.mteps())
+
+    registry.counter("run.pages_streamed").inc(result.pages_streamed)
+    registry.counter("run.bytes_streamed").inc(result.bytes_streamed)
+    registry.counter("run.storage_bytes_read").inc(result.storage_bytes_read)
+    registry.counter("run.edges_traversed").inc(result.edges_traversed)
+    registry.counter("run.kernel_invocations").inc(result.kernel_invocations)
+
+    registry.counter("cache.hits").inc(result.cache_hits)
+    registry.counter("cache.misses").inc(result.cache_misses)
+    registry.gauge("cache.hit_rate").set(result.cache_hit_rate)
+    registry.meta.setdefault("cache_policy", result.cache_policy)
+    registry.gauge("cache.policy_hit_rate.%s"
+                   % result.cache_policy).set(result.cache_hit_rate)
+    registry.counter("mm_buffer.hits").inc(result.mm_buffer_hits)
+    registry.counter("mm_buffer.misses").inc(result.mm_buffer_misses)
+    registry.gauge("mm_buffer.hit_rate").set(result.mm_buffer_hit_rate)
+
+    registry.gauge("pipeline.transfer_busy_seconds").set(
+        result.transfer_busy_seconds)
+    registry.gauge("pipeline.kernel_busy_seconds").set(
+        result.kernel_busy_seconds)
+    registry.gauge("pipeline.transfer_to_kernel_ratio").set(
+        result.transfer_to_kernel_ratio)
+
+    latency = registry.histogram("round.latency_seconds",
+                                 "per-round simulated latency")
+    round_bytes = registry.histogram("round.copy_bytes",
+                                     "per-round bytes streamed over PCI-E")
+    round_pages = registry.histogram("round.pages_dispatched")
+    for stats in result.rounds:
+        latency.observe(stats.elapsed)
+        round_bytes.observe(stats.bytes_streamed)
+        round_pages.observe(stats.pages_dispatched)
+    return registry

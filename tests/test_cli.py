@@ -1,11 +1,14 @@
 """Tests for the ``python -m repro`` command line."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
 from repro.graphgen import generate_rmat
 from repro.graphgen.io import write_edge_list
+from repro.obs import validate_chrome_trace
 
 
 class TestParser:
@@ -74,6 +77,61 @@ class TestRunCommand:
         assert main(["run", "--edges", path, "--algorithm", "bfs",
                      "--start", "999999"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestRunArtifacts:
+    def test_json_output_mode(self, capsys):
+        assert main(["run", "--dataset", "rmat26",
+                     "--algorithm", "bfs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "BFS"
+        assert payload["dataset"] == "rmat26"
+        assert payload["num_rounds"] == len(payload["rounds"])
+        assert payload["elapsed_seconds"] > 0
+        # Value arrays are summarised, not dumped.
+        assert set(payload["values"]["level"]) \
+            == {"dtype", "size", "min", "max"}
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path,
+                                                 capsys):
+        path = str(tmp_path / "trace.json")
+        assert main(["run", "--dataset", "rmat26", "--algorithm",
+                     "pagerank", "--iterations", "2",
+                     "--trace-out", path]) == 0
+        assert "wrote trace" in capsys.readouterr().err
+        events = validate_chrome_trace(json.load(open(path)))
+        assert any(e.get("name") == "kernel" for e in events)
+
+    def test_metrics_out_includes_drift(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.json")
+        assert main(["run", "--dataset", "rmat26", "--algorithm",
+                     "bfs", "--metrics-out", path]) == 0
+        payload = json.load(open(path))
+        assert payload["meta"]["algorithm"] == "BFS"
+        metrics = payload["metrics"]
+        assert metrics["run.elapsed_seconds"]["value"] > 0
+        assert metrics["round.latency_seconds"]["value"]["count"] > 0
+        assert "cost_model.drift" in metrics
+
+
+class TestProfileCommand:
+    def test_prints_timeline_and_drift(self, capsys):
+        assert main(["profile", "--dataset", "rmat26",
+                     "--algorithm", "bfs", "--width", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "gpu0/copy engine" in output
+        assert "gpu0/stream[0]" in output
+        assert "drift" in output
+
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        assert main(["profile", "--dataset", "rmat26",
+                     "--algorithm", "pagerank", "--iterations", "2",
+                     "--trace-out", trace,
+                     "--metrics-out", metrics]) == 0
+        validate_chrome_trace(json.load(open(trace)))
+        assert "cost_model.drift" in json.load(open(metrics))["metrics"]
 
 
 class TestRecommendCommand:

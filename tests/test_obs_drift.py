@@ -1,0 +1,112 @@
+"""Cost-model drift: the DES must stay near the Section 5 equations.
+
+The drift report re-evaluates Eq. 1 / Eq. 2 with each run's measured
+workload and compares against the simulated elapsed time.  These tests
+pin the regime where the equations describe the pipeline directly —
+cache off, streams at the concurrency knee — and bound the drift below
+20 % on the smallest registry datasets for a full-scan kernel
+(PageRank, Eq. 1) and a traversal kernel (BFS, Eq. 2).  A scheduler
+change that serializes copies against kernels, or double-books a
+resource, breaks this bound long before it breaks a correctness test.
+"""
+
+import pytest
+
+from repro.bench.datasets import (
+    dataset_database,
+    dataset_graph,
+    default_start_vertex,
+)
+from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.core.result import RunResult
+from repro.errors import ConfigurationError
+from repro.hardware.specs import scaled_workstation
+from repro.obs import MetricsRegistry, cost_model_drift, record_drift
+
+DATASET = "rmat26"
+DRIFT_BOUND = 0.20
+
+
+@pytest.fixture(scope="module")
+def db():
+    return dataset_database(DATASET)
+
+
+@pytest.fixture(scope="module")
+def drift_machine():
+    return scaled_workstation(num_gpus=2, num_ssds=2)
+
+
+def _run_and_drift(db, machine, kernel):
+    engine = GTSEngine(db, machine, num_streams=32,
+                       enable_caching=False)
+    result = engine.run(kernel, dataset_name=DATASET)
+    return cost_model_drift(result, db, machine, kernel)
+
+
+class TestDriftBound:
+    def test_pagerank_drift_below_bound(self, db, drift_machine):
+        kernel = PageRankKernel(iterations=3)
+        report = _run_and_drift(db, drift_machine, kernel)
+        assert report.model == "eq1"
+        assert report.abs_drift < DRIFT_BOUND, report.summary()
+
+    def test_bfs_drift_below_bound(self, db, drift_machine):
+        graph = dataset_graph(DATASET)
+        kernel = BFSKernel(default_start_vertex(graph))
+        report = _run_and_drift(db, drift_machine, kernel)
+        assert report.model == "eq2"
+        assert report.abs_drift < DRIFT_BOUND, report.summary()
+
+
+class TestReportShape:
+    def test_components_compose_the_prediction(self, db, drift_machine):
+        report = _run_and_drift(db, drift_machine,
+                                PageRankKernel(iterations=3))
+        parts = report.components
+        assert report.predicted_seconds == pytest.approx(
+            parts["wa_broadcast"] + parts["pipeline"] + parts["sync"])
+        assert parts["pipeline"] >= max(parts["transfer"],
+                                        parts["kernel"]) - 1e-12
+
+    def test_summary_mentions_the_model(self, db, drift_machine):
+        report = _run_and_drift(db, drift_machine,
+                                PageRankKernel(iterations=3))
+        assert "eq1" in report.summary()
+        assert "drift" in report.summary()
+
+    def test_signed_drift(self):
+        report = _make_report(simulated=1.2, predicted=1.0)
+        assert report.drift == pytest.approx(0.2)
+        assert report.abs_drift == pytest.approx(0.2)
+        slower_model = _make_report(simulated=0.8, predicted=1.0)
+        assert slower_model.drift == pytest.approx(-0.2)
+
+    def test_empty_run_rejected(self, db, drift_machine):
+        empty = RunResult(algorithm="BFS", dataset=DATASET, values={},
+                          elapsed_seconds=0.0, wall_seconds=0.0,
+                          num_rounds=0, rounds=[])
+        with pytest.raises(ConfigurationError):
+            cost_model_drift(empty, db, drift_machine, BFSKernel(0))
+
+
+def _make_report(simulated, predicted):
+    from repro.obs import CostModelDrift
+    return CostModelDrift(algorithm="BFS", dataset=DATASET, model="eq2",
+                          simulated_seconds=simulated,
+                          predicted_seconds=predicted, components={})
+
+
+class TestRecordDrift:
+    def test_gauges_emitted(self, db, drift_machine):
+        report = _run_and_drift(db, drift_machine,
+                                PageRankKernel(iterations=3))
+        registry = record_drift(report, MetricsRegistry())
+        payload = registry.as_dict()["metrics"]
+        assert payload["cost_model.drift"]["value"] \
+            == pytest.approx(report.drift)
+        assert payload["cost_model.abs_drift"]["value"] \
+            == pytest.approx(report.abs_drift)
+        assert payload["cost_model.predicted_seconds"]["value"] \
+            == pytest.approx(report.predicted_seconds)
+        assert registry.meta["cost_model"] == "eq1"

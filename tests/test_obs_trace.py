@@ -1,0 +1,187 @@
+"""Tests for the structured trace recorder and its exporters."""
+
+import json
+
+import pytest
+
+from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.errors import ConfigurationError
+from repro.hardware.trace import busy_fraction
+from repro.obs import (
+    MICROSECONDS,
+    TraceRecorder,
+    ascii_timeline,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_pagerank(rmat_db, machine):
+    engine = GTSEngine(rmat_db, machine, tracing=True)
+    return engine.run(PageRankKernel(iterations=2))
+
+
+@pytest.fixture(scope="module")
+def traced_bfs(rmat_db, machine):
+    engine = GTSEngine(rmat_db, machine, tracing=True)
+    return engine.run(BFSKernel(0))
+
+
+class TestRecorder:
+    def test_interval_and_instant(self):
+        recorder = TraceRecorder()
+        recorder.interval("kernel", "gpu0", "stream[0]", 1.0, 2.0, page=7)
+        recorder.instant("cache_hit", "gpu0", "page cache", 1.5, page=7)
+        assert len(recorder) == 2
+        assert recorder.lanes() == [("gpu0", "stream[0]"),
+                                    ("gpu0", "page cache")]
+        assert recorder.busy_intervals("gpu0", "stream[0]") == [(1.0, 2.0)]
+        assert recorder.busy_intervals("gpu0", "page cache") == []
+        assert recorder.counts() == {"kernel": 1, "cache_hit": 1}
+        assert recorder.end_time() == 2.0
+
+    def test_select(self):
+        recorder = TraceRecorder()
+        recorder.interval("kernel", "gpu0", "stream[0]", 0.0, 1.0)
+        recorder.interval("h2d_copy", "gpu0", "copy engine", 0.0, 1.0)
+        assert len(recorder.select(name="kernel")) == 1
+        assert len(recorder.select(category="transfer")) == 1
+        assert len(recorder.select(process="gpu0")) == 2
+
+
+class TestTracedRun:
+    def test_run_attaches_recorder(self, traced_pagerank):
+        assert traced_pagerank.trace is not None
+        assert len(traced_pagerank.trace) > 0
+
+    def test_untraced_run_has_no_recorder(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(BFSKernel(0))
+        assert result.trace is None
+
+    def test_expected_event_taxonomy(self, traced_pagerank):
+        counts = traced_pagerank.trace.counts()
+        for name in ("kernel", "h2d_copy", "round", "round_barrier",
+                     "wa_broadcast", "mm_buffer_hit", "cache_miss",
+                     "cache_admit"):
+            assert counts.get(name, 0) > 0, name
+        assert counts["kernel"] == traced_pagerank.kernel_invocations
+        assert counts["round"] == traced_pagerank.num_rounds
+
+    def test_ssd_fetch_traced_with_cold_buffer(self, rmat_db, machine):
+        engine = GTSEngine(
+            rmat_db, machine, tracing=True, enable_caching=False,
+            mm_buffer_bytes=rmat_db.config.page_size * 4)
+        result = engine.run(BFSKernel(0))
+        fetches = result.trace.select(name="ssd_fetch")
+        assert fetches
+        assert result.storage_bytes_read > 0
+        assert all(e.process == "storage" for e in fetches)
+
+    def test_lane_intervals_never_overlap(self, traced_pagerank,
+                                          traced_bfs):
+        for result in (traced_pagerank, traced_bfs):
+            for process, thread in result.trace.lanes():
+                intervals = sorted(
+                    result.trace.busy_intervals(process, thread))
+                for (_, prev_end), (start, _) in zip(intervals,
+                                                     intervals[1:]):
+                    assert start >= prev_end - 1e-12, (process, thread)
+
+
+class TestChromeExport:
+    def test_schema_valid(self, traced_pagerank):
+        payload = chrome_trace(traced_pagerank.trace)
+        events = validate_chrome_trace(payload)
+        assert events
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_round_trip_through_file(self, traced_bfs, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(traced_bfs.trace, path) == path
+        payload = json.load(open(path))
+        events = validate_chrome_trace(payload)
+        complete = [e for e in events if e["ph"] == "X"]
+        recorded = [e for e in traced_bfs.trace
+                    if e.phase == "X"]
+        assert len(complete) == len(recorded)
+
+    def test_metadata_names_every_lane(self, traced_pagerank):
+        payload = chrome_trace(traced_pagerank.trace)
+        events = payload["traceEvents"]
+        processes = {e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        threads = {e["args"]["name"] for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        lanes = traced_pagerank.trace.lanes()
+        assert processes == {p for p, _ in lanes}
+        assert threads == {t for _, t in lanes}
+
+    def test_requires_a_recorder(self):
+        with pytest.raises(ConfigurationError):
+            chrome_trace(None)
+
+    def test_rejects_malformed_events(self):
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "k",
+                                  "pid": 0, "tid": 0, "ts": 0.0}]})
+
+    def test_json_busy_matches_recorder(self, traced_pagerank):
+        """Per-lane busy time in the JSON equals the recorder's."""
+        payload = chrome_trace(traced_pagerank.trace)
+        events = payload["traceEvents"]
+        names = {}  # (pid, tid) -> (process, thread)
+        pid_names = {e["pid"]: e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        for e in events:
+            if e["ph"] == "M" and e["name"] == "thread_name":
+                names[(e["pid"], e["tid"])] = (pid_names[e["pid"]],
+                                               e["args"]["name"])
+        json_busy = {}
+        for e in events:
+            if e["ph"] == "X":
+                lane = names[(e["pid"], e["tid"])]
+                json_busy[lane] = json_busy.get(lane, 0.0) + e["dur"]
+        for lane, total in json_busy.items():
+            recorded = sum(
+                end - start for start, end
+                in traced_pagerank.trace.busy_intervals(*lane))
+            assert total / MICROSECONDS == pytest.approx(recorded)
+
+
+class TestAsciiView:
+    def test_renders_every_interval_lane(self, traced_pagerank):
+        view = ascii_timeline(traced_pagerank.trace)
+        assert "gpu0/copy engine" in view
+        assert "gpu0/stream[0]" in view
+        assert "engine/rounds" in view
+        # Instant-only lanes carry no bars and are omitted.
+        assert "page cache" not in view
+
+    def test_busy_percentages_agree_with_recorder(self, traced_pagerank):
+        """The rendered percent per lane is the recorder's busy fraction
+        over the same window — the ASCII view is a projection of the
+        same event stream the JSON exporter serializes."""
+        recorder = traced_pagerank.trace
+        t1 = recorder.end_time()
+        view = ascii_timeline(recorder, width=40)
+        rendered = {}
+        for line in view.splitlines()[1:]:
+            label, _, percent = (line.strip().split("|")[0].strip(),
+                                 None, line.rsplit("|", 1)[1])
+            rendered[label] = float(percent.rstrip("% "))
+        for process, thread in recorder.lanes():
+            intervals = recorder.busy_intervals(process, thread)
+            if not intervals:
+                continue
+            label = "%s/%s" % (process, thread)
+            expected = 100 * busy_fraction(intervals, 0.0, t1)
+            assert rendered[label] == pytest.approx(expected, abs=0.51)
+
+    def test_requires_a_recorder(self):
+        with pytest.raises(ConfigurationError):
+            ascii_timeline(None)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.errors import ConfigurationError
 from repro.hardware.clock import Resource
 from repro.hardware.machine import MachineRuntime
 from repro.hardware.specs import paper_workstation
@@ -93,8 +94,13 @@ class TestEngineTimelines:
 
     def test_render_requires_tracing(self):
         runtime = MachineRuntime(paper_workstation(), page_bytes=1 * MB)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             render_gpu_timeline(runtime.gpus[0], 0.0, 1.0)
+
+    def test_zero_length_intervals_paint_nothing(self):
+        assert render_lane([(0.5, 0.5)], 0.0, 1.0, width=10) == "." * 10
+        mixed = render_lane([(0.0, 0.0), (0.5, 1.0)], 0.0, 1.0, width=10)
+        assert mixed == "....." + "=" * 5
 
     def test_timeline_density_helper(self):
         runtime = MachineRuntime(paper_workstation(), num_streams=2,
