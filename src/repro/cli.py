@@ -9,6 +9,9 @@ Subcommands:
 * ``datasets`` — list the scaled experiment datasets (Table 3 view).
 * ``recommend`` — cost-based configuration advice (Section 5).
 * ``bench`` — regenerate one paper table/figure by ID.
+* ``update`` — apply a mutation batch to a saved database through the
+  WAL-backed dynamic layer (:mod:`repro.dynamic`).
+* ``compact`` — fold accumulated deltas + WAL back into a clean base.
 
 Examples::
 
@@ -20,6 +23,9 @@ Examples::
     python -m repro profile --dataset rmat26 --algorithm pagerank
     python -m repro recommend --dataset rmat32 --algorithm pagerank
     python -m repro bench --experiment fig9 --algorithm BFS
+    python -m repro update --db mygraph --batch updates.txt
+    python -m repro run --db mygraph --algorithm bfs
+    python -m repro compact --db mygraph
     python -m repro report
 """
 
@@ -102,6 +108,10 @@ def build_parser():
         source.add_argument("--dataset", choices=sorted(DATASETS),
                             help="registry dataset name")
         source.add_argument("--edges", help="edge-list text file to load")
+        source.add_argument("--db", metavar="PREFIX",
+                            help="saved database prefix (loads "
+                                 "<PREFIX>.meta.json/.pages and replays "
+                                 "<PREFIX>.wal if present)")
         sub.add_argument("--algorithm", choices=sorted(ALGORITHMS),
                          default="bfs")
         sub.add_argument("--start", type=int, default=None,
@@ -158,6 +168,37 @@ def build_parser():
     bench.add_argument("--algorithm", default="BFS",
                        help="BFS / PageRank (SSSP / CC / BC for fig13)")
 
+    update = commands.add_parser(
+        "update",
+        help="apply a mutation batch to a saved database (WAL-logged)")
+    update.add_argument("--db", metavar="PREFIX", required=True,
+                        help="saved database prefix")
+    update.add_argument("--batch", required=True, metavar="FILE",
+                        help="batch file: one 'add U V [W]' / 'del U V' "
+                             "/ 'vertex [N]' per line")
+    update.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on WAL appends (faster, less "
+                             "durable)")
+    update.add_argument("--compact-threshold", type=int, default=None,
+                        metavar="BYTES",
+                        help="fold deltas into the base once they "
+                             "exceed this many bytes")
+    update.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write dynamic-layer metrics as JSON")
+
+    compact_cmd = commands.add_parser(
+        "compact",
+        help="fold deltas + WAL into a clean base database")
+    compact_cmd.add_argument("--db", metavar="PREFIX", required=True,
+                             help="saved database prefix")
+    compact_cmd.add_argument("--threshold", type=int, default=0,
+                             metavar="BYTES",
+                             help="only compact when delta bytes exceed "
+                                  "this (default: always)")
+    compact_cmd.add_argument("--metrics-out", default=None,
+                             metavar="PATH",
+                             help="write dynamic-layer metrics as JSON")
+
     report = commands.add_parser(
         "report", help="aggregate results/ into REPORT.md")
     report.add_argument("--results-dir", default="results")
@@ -168,6 +209,10 @@ def build_parser():
 def _load_database(args):
     weighted = ALGORITHMS[args.algorithm][1]
     symmetrised = ALGORITHMS[args.algorithm][2]
+    if getattr(args, "db", None):
+        from repro.dynamic import open_dynamic_database
+        db = open_dynamic_database(args.db)
+        return None, db, args.db
     if args.dataset:
         graph = dataset_graph(args.dataset, weighted=weighted,
                               symmetrised=symmetrised)
@@ -187,8 +232,13 @@ def _load_database(args):
 def _execute_run(args, tracing=False):
     """Shared by ``run`` and ``profile``: build everything and run."""
     graph, db, name = _load_database(args)
-    start = (args.start if args.start is not None
-             else default_start_vertex(graph))
+    if args.start is not None:
+        start = args.start
+    elif graph is not None:
+        start = default_start_vertex(graph)
+    else:
+        # No Graph object for --db sources; seed from the busiest vertex.
+        start = int(np.argmax(db.out_degrees))
     kernel = ALGORITHMS[args.algorithm][0](args, start)
     machine = scaled_workstation(num_gpus=args.gpus, num_ssds=args.ssds)
     engine = GTSEngine(db, machine, strategy=args.strategy,
@@ -216,6 +266,9 @@ def _write_artifacts(args, result, db, machine, kernel):
         registry = collect_run_metrics(result)
         record_drift(cost_model_drift(result, db, machine, kernel),
                      registry)
+        if hasattr(db, "dynamic_stats"):
+            from repro.obs import collect_dynamic_metrics
+            collect_dynamic_metrics(db, registry)
         registry.to_json(args.metrics_out)
         written.append(("metrics", args.metrics_out))
     return written
@@ -289,6 +342,48 @@ def _command_recommend(args):
     return 0
 
 
+def _command_update(args):
+    from repro.dynamic import (
+        maybe_compact,
+        open_dynamic_database,
+        parse_batch_file,
+    )
+    batch = parse_batch_file(args.batch)
+    db = open_dynamic_database(args.db, fsync=not args.no_fsync)
+    report = db.apply(batch)
+    print("applied %s to %s: %d page(s) dirtied, WAL record %s"
+          % (batch, args.db, len(report.affected_pids), report.lsn))
+    print("  " + repr(db))
+    if args.compact_threshold is not None:
+        outcome = maybe_compact(db, args.compact_threshold,
+                                save_prefix=args.db)
+        if outcome is not None:
+            print("  " + outcome.summary())
+    if args.metrics_out:
+        from repro.obs import collect_dynamic_metrics
+        collect_dynamic_metrics(db).to_json(args.metrics_out)
+        print("wrote metrics to %s" % args.metrics_out, file=sys.stderr)
+    return 0
+
+
+def _command_compact(args):
+    from repro.dynamic import maybe_compact, open_dynamic_database
+    db = open_dynamic_database(args.db)
+    outcome = maybe_compact(db, args.threshold, save_prefix=args.db)
+    if outcome is None:
+        print("nothing to do: %d delta byte(s) below threshold %d"
+              % (db.delta_bytes, args.threshold))
+    else:
+        print(outcome.summary())
+        print("saved compacted base to %s.meta.json/.pages and reset "
+              "the WAL" % args.db)
+    if args.metrics_out:
+        from repro.obs import collect_dynamic_metrics
+        collect_dynamic_metrics(db).to_json(args.metrics_out)
+        print("wrote metrics to %s" % args.metrics_out, file=sys.stderr)
+    return 0
+
+
 def _command_report(args):
     from repro.bench.report import generate_report
     path, included, missing = generate_report(args.results_dir,
@@ -318,6 +413,8 @@ def main(argv=None):
         "datasets": _command_datasets,
         "recommend": _command_recommend,
         "bench": _command_bench,
+        "update": _command_update,
+        "compact": _command_compact,
         "report": _command_report,
     }
     try:

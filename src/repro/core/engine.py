@@ -98,6 +98,7 @@ class GTSEngine:
         self.validate_simulation = validate_simulation
         self.tracing = tracing or validate_simulation
         self._lp_runs = self._index_large_page_runs()
+        self._db_topology_version = getattr(db, "topology_version", 0)
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -189,6 +190,14 @@ class GTSEngine:
         and the simulated performance counters."""
         wall_start = _time.perf_counter()
         db = self.db
+        # A mutated topology (dynamic updates, compaction) invalidates
+        # the large-page run index built at construction time.
+        version = getattr(db, "topology_version", 0)
+        if version != self._db_topology_version:
+            self._lp_runs = self._index_large_page_runs()
+            self._db_topology_version = version
+        pool_hits_start = getattr(db, "pool_hits", 0)
+        pool_misses_start = getattr(db, "pool_misses", 0)
         topology = db.topology_bytes()
         recorder = None
         if self.tracing:
@@ -327,6 +336,8 @@ class GTSEngine:
             cache_misses=sum(c.misses for c in caches),
             mm_buffer_hits=runtime.mm_buffer.hits,
             mm_buffer_misses=runtime.mm_buffer.misses,
+            pool_hits=getattr(db, "pool_hits", 0) - pool_hits_start,
+            pool_misses=getattr(db, "pool_misses", 0) - pool_misses_start,
             transfer_busy_seconds=sum(
                 g.copy_engine.busy_time for g in runtime.gpus),
             kernel_busy_seconds=sum(

@@ -53,6 +53,10 @@ class RunResult:
     cache_misses: int = 0
     mm_buffer_hits: int = 0
     mm_buffer_misses: int = 0
+    #: Host page-pool counters (file-backed databases only; both stay 0
+    #: for eager in-memory databases).
+    pool_hits: int = 0
+    pool_misses: int = 0
     transfer_busy_seconds: float = 0.0
     kernel_busy_seconds: float = 0.0
     #: Sum of per-stream kernel occupancy (what a Figure 4-style stream
@@ -86,6 +90,11 @@ class RunResult:
         return self.mm_buffer_hits / total if total else 0.0
 
     @property
+    def pool_hit_rate(self):
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+    @property
     def transfer_to_kernel_ratio(self):
         """The paper's Table 1 quantity: transfer time : kernel time.
 
@@ -107,15 +116,19 @@ class RunResult:
     def summary(self):
         """One-line report used by examples and benches."""
         ratio = self.transfer_to_kernel_ratio
+        pool = ""
+        if self.pool_hits + self.pool_misses:
+            pool = ", page-pool hit rate %.1f%%" % (
+                100.0 * self.pool_hit_rate)
         return (
             "%s on %s [%s, %d GPU(s), %d stream(s)]: %.6f s simulated, "
             "%d rounds, %d pages streamed, cache hit rate %.1f%%, "
-            "mm-buffer hit rate %.1f%%, transfer:kernel %s"
+            "mm-buffer hit rate %.1f%%%s, transfer:kernel %s"
             % (self.algorithm, self.dataset, self.strategy or self.engine,
                self.num_gpus, self.num_streams, self.elapsed_seconds,
                self.num_rounds, self.pages_streamed,
                100.0 * self.cache_hit_rate,
-               100.0 * self.mm_buffer_hit_rate,
+               100.0 * self.mm_buffer_hit_rate, pool,
                "inf" if ratio == float("inf") else "%.2f" % ratio)
         )
 
@@ -147,6 +160,9 @@ class RunResult:
             "mm_buffer_hits": self.mm_buffer_hits,
             "mm_buffer_misses": self.mm_buffer_misses,
             "mm_buffer_hit_rate": self.mm_buffer_hit_rate,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "pool_hit_rate": self.pool_hit_rate,
             "transfer_busy_seconds": self.transfer_busy_seconds,
             "kernel_busy_seconds": self.kernel_busy_seconds,
             "kernel_stream_seconds": self.kernel_stream_seconds,

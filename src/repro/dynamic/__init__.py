@@ -1,0 +1,59 @@
+"""Dynamic graph updates for the slotted-page database.
+
+GTS builds its topology once; this package makes it live.  The pieces,
+in the order a mutation flows through them:
+
+* :mod:`repro.dynamic.batch` — :class:`UpdateBatch`, the atomic unit of
+  mutation (edge inserts/deletes, vertex adds);
+* :mod:`repro.dynamic.wal` — :class:`WriteAheadLog`, checksummed durable
+  logging with torn-tail crash recovery;
+* :mod:`repro.dynamic.delta` — :class:`DynamicGraphDatabase`, the delta
+  page/tombstone overlay the engine reads through transparently;
+* :mod:`repro.dynamic.compact` — folding deltas back into a clean base
+  with the original builder;
+* :mod:`repro.dynamic.incremental` — restreaming only dirtied pages
+  after insert-only batches via the engine's ``nextPIDSet`` path.
+"""
+
+from repro.dynamic.batch import UpdateBatch, parse_batch_file
+from repro.dynamic.compact import (
+    DEFAULT_THRESHOLD_BYTES,
+    CompactionReport,
+    compact,
+    materialise_graph,
+    maybe_compact,
+)
+from repro.dynamic.delta import (
+    ApplyReport,
+    DynamicGraphDatabase,
+    open_dynamic_database,
+)
+from repro.dynamic.incremental import (
+    IncrementalBFSKernel,
+    IncrementalWCCKernel,
+    incremental_bfs,
+    incremental_wcc,
+    insert_seeds,
+)
+from repro.dynamic.wal import WAL_MAGIC, ReplayReport, WriteAheadLog
+
+__all__ = [
+    "UpdateBatch",
+    "parse_batch_file",
+    "WriteAheadLog",
+    "ReplayReport",
+    "WAL_MAGIC",
+    "DynamicGraphDatabase",
+    "ApplyReport",
+    "open_dynamic_database",
+    "compact",
+    "maybe_compact",
+    "materialise_graph",
+    "CompactionReport",
+    "DEFAULT_THRESHOLD_BYTES",
+    "IncrementalBFSKernel",
+    "IncrementalWCCKernel",
+    "incremental_bfs",
+    "incremental_wcc",
+    "insert_seeds",
+]

@@ -1,0 +1,159 @@
+"""Update batches: the unit of mutation for a slotted-page database.
+
+A batch is an *ordered* list of operations — edge inserts, edge deletes
+and vertex additions — applied atomically by
+:meth:`~repro.dynamic.delta.DynamicGraphDatabase.apply`.  Order matters
+within a batch (a vertex must be added before edges reference it; an
+edge must exist before it can be deleted), so batches round-trip through
+the WAL as the exact op sequence the caller issued.
+
+Semantics
+---------
+* ``insert_edge(u, v)`` appends **one** copy of the directed edge
+  ``u -> v``; parallel edges are permitted, matching the base builder
+  (R-MAT inputs contain duplicates).
+* ``delete_edge(u, v)`` removes **all** parallel copies of ``u -> v``
+  present at that point; deleting a non-existent edge is an
+  :class:`~repro.errors.UpdateError`.
+* ``add_vertices(n)`` appends ``n`` fresh vertices with consecutive IDs
+  starting at the current vertex count.
+
+Batches serialize to plain JSON dicts (:meth:`UpdateBatch.to_dict`) —
+that is the payload the WAL checksums and replays.
+"""
+
+from repro.errors import UpdateError
+
+#: Op tags used in the serialized form (stable WAL identifiers).
+OP_INSERT = "+"
+OP_DELETE = "-"
+OP_VERTICES = "v"
+
+
+class UpdateBatch:
+    """An ordered sequence of graph mutations applied atomically."""
+
+    def __init__(self, ops=None):
+        self.ops = list(ops or [])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert_edge(self, src, dst, weight=None):
+        """Append one copy of the directed edge ``src -> dst``."""
+        src, dst = int(src), int(dst)
+        if src < 0 or dst < 0:
+            raise UpdateError("edge endpoints must be nonnegative")
+        self.ops.append((OP_INSERT, src, dst,
+                         None if weight is None else float(weight)))
+        return self
+
+    def delete_edge(self, src, dst):
+        """Remove every parallel copy of the directed edge ``src -> dst``."""
+        src, dst = int(src), int(dst)
+        if src < 0 or dst < 0:
+            raise UpdateError("edge endpoints must be nonnegative")
+        self.ops.append((OP_DELETE, src, dst))
+        return self
+
+    def add_vertices(self, count=1):
+        """Append ``count`` fresh vertices with consecutive IDs."""
+        count = int(count)
+        if count < 1:
+            raise UpdateError("must add at least one vertex")
+        self.ops.append((OP_VERTICES, count))
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.ops)
+
+    def __bool__(self):
+        return bool(self.ops)
+
+    @property
+    def num_inserts(self):
+        return sum(1 for op in self.ops if op[0] == OP_INSERT)
+
+    @property
+    def num_deletes(self):
+        return sum(1 for op in self.ops if op[0] == OP_DELETE)
+
+    @property
+    def num_new_vertices(self):
+        return sum(op[1] for op in self.ops if op[0] == OP_VERTICES)
+
+    @property
+    def has_deletes(self):
+        return any(op[0] == OP_DELETE for op in self.ops)
+
+    def touched_vertices(self):
+        """Endpoints named by edge operations, in first-touch order."""
+        seen = []
+        member = set()
+        for op in self.ops:
+            if op[0] in (OP_INSERT, OP_DELETE):
+                for vid in op[1:3]:
+                    if vid not in member:
+                        member.add(vid)
+                        seen.append(vid)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Serialization (the WAL payload)
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-ready form: ``{"ops": [[tag, ...], ...]}``."""
+        return {"ops": [list(op) for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Inverse of :meth:`to_dict`; validates op tags and arity."""
+        batch = cls()
+        for op in payload.get("ops", []):
+            tag = op[0]
+            if tag == OP_INSERT and len(op) == 4:
+                batch.insert_edge(op[1], op[2], op[3])
+            elif tag == OP_DELETE and len(op) == 3:
+                batch.delete_edge(op[1], op[2])
+            elif tag == OP_VERTICES and len(op) == 2:
+                batch.add_vertices(op[1])
+            else:
+                raise UpdateError("malformed batch op %r" % (op,))
+        return batch
+
+    def __repr__(self):
+        return "UpdateBatch(+%d -%d v%d)" % (
+            self.num_inserts, self.num_deletes, self.num_new_vertices)
+
+
+def parse_batch_file(path):
+    """Read a batch from a text file (the CLI ``update --batch`` format).
+
+    One op per line: ``add U V [W]``, ``del U V`` or ``vertex [N]``;
+    blank lines and ``#`` comments are skipped.
+    """
+    batch = UpdateBatch()
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "add" and len(parts) in (3, 4):
+                    weight = float(parts[3]) if len(parts) == 4 else None
+                    batch.insert_edge(int(parts[1]), int(parts[2]), weight)
+                elif parts[0] == "del" and len(parts) == 3:
+                    batch.delete_edge(int(parts[1]), int(parts[2]))
+                elif parts[0] == "vertex" and len(parts) in (1, 2):
+                    batch.add_vertices(int(parts[1]) if len(parts) == 2
+                                       else 1)
+                else:
+                    raise ValueError
+            except ValueError:
+                raise UpdateError(
+                    "%s:%d: malformed batch line %r" % (path, lineno, line))
+    return batch

@@ -1,0 +1,622 @@
+"""Delta pages: a mutable overlay over an immutable slotted-page base.
+
+The GTS builder produces a read-only database; this module makes it
+*behave* mutable without rewriting base pages.  A
+:class:`DynamicGraphDatabase` wraps any base database (eager or
+file-backed) and keeps three overlay structures, in the spirit of the
+delta-update designs for GPU-resident topologies (Sha et al.):
+
+* **delta adjacency** — per-vertex lists of inserted neighbours, merged
+  into the vertex's page at serve time;
+* **tombstones** — per-vertex sets of deleted neighbours, filtered out
+  of base-page records at serve time;
+* **extension pages** — fresh slotted pages appended after the base
+  pages, holding the records of vertices added after the build (their
+  VIDs stay consecutive per page, so RVT translation works unchanged).
+
+``page(pid)`` transparently returns the *merged* page — base records
+minus tombstones plus delta entries — so the engine and every kernel
+see the up-to-date adjacency with zero code changes.  Merged pages are
+cached per PID and invalidated when a batch touches their vertices (the
+"cache invalidation of updated PIDs" the engine relies on; the GPU-side
+:class:`~repro.core.cache.PageCache` offers the matching
+:meth:`~repro.core.cache.PageCache.invalidate`).
+
+Durability is layered in front: when a :class:`~repro.dynamic.wal.WriteAheadLog`
+is attached, :meth:`DynamicGraphDatabase.apply` appends the batch to the
+log (fsync) *before* mutating the overlays, and
+:func:`open_dynamic_database` replays the log over a freshly loaded base
+on startup — crash recovery is just "load + replay".
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.dynamic.batch import OP_DELETE, OP_INSERT, OP_VERTICES, UpdateBatch
+from repro.dynamic.wal import WriteAheadLog
+from repro.errors import FormatError, UpdateError
+from repro.format.database import GraphDatabase, PageDirectoryEntry
+from repro.format.io import FileBackedDatabase, load_database
+from repro.format.page import LargePage, SmallPage
+from repro.format.rvt import RecordVertexTable
+
+
+@dataclasses.dataclass
+class ApplyReport:
+    """What one :meth:`DynamicGraphDatabase.apply` call did."""
+
+    lsn: object              # WAL record index, or None when not logged
+    affected_pids: np.ndarray
+    inserted_edges: int = 0
+    deleted_edges: int = 0
+    added_vertices: int = 0
+
+
+class DynamicGraphDatabase(GraphDatabase):
+    """A :class:`~repro.format.database.GraphDatabase` that accepts updates.
+
+    Parameters
+    ----------
+    base:
+        The immutable base database (eager or
+        :class:`~repro.format.io.FileBackedDatabase`).
+    wal:
+        Optional :class:`~repro.dynamic.wal.WriteAheadLog`; when present,
+        every applied batch is durably logged before the overlay mutates.
+    recorder:
+        Optional :class:`~repro.obs.events.TraceRecorder` for
+        ``delta_apply`` / ``compaction`` instants.
+    """
+
+    def __init__(self, base, wal=None, recorder=None):
+        self.wal = wal
+        self.recorder = recorder
+        # Cumulative counters (survive compaction; feed repro.obs).
+        self.applied_batches = 0
+        self.inserted_edges = 0
+        self.deleted_edges = 0
+        self.added_vertices = 0
+        self.compactions = 0
+        self.compaction_folded_bytes = 0
+        self._adopt_base(base)
+        super().__init__(
+            pages=[None] * base.num_pages,
+            directory=list(base.directory),
+            rvt=RecordVertexTable(base.rvt.start_vids.copy(),
+                                  base.rvt.lp_ranges.copy()),
+            config=base.config,
+            num_vertices=base.num_vertices,
+            num_edges=base.num_edges,
+            out_degrees=base.out_degrees.copy(),
+            vertex_page=base.vertex_page.copy(),
+            name=base.name,
+        )
+
+    def _adopt_base(self, base):
+        """(Re)point the overlay at a base database; resets delta state."""
+        self._base = base
+        self._base_pages = base.num_pages
+        self._base_vertices = base.num_vertices
+        self._extras = {}      # vid -> ([targets], [weights])
+        self._dead = {}        # vid -> set of deleted base neighbours
+        self._merged = {}      # pid -> merged page cache
+        self._overlaid_pids = set()
+        self._open_ext = None  # pid of the extension page being filled
+        self.tombstoned_edges = 0
+        self.delta_bytes = 0
+        self._lp_runs = self._index_lp_runs(base)
+
+    @staticmethod
+    def _index_lp_runs(base):
+        """vid -> sorted array of the vertex's large-page run PIDs."""
+        runs = {}
+        lp_ranges = base.rvt.lp_ranges
+        for pid in base.large_page_ids():
+            vid = int(base.rvt.start_vids[pid])
+            runs.setdefault(vid, []).append(int(pid))
+        return {vid: np.asarray(sorted(pids), dtype=np.int64)
+                for vid, pids in runs.items()}
+
+    # ------------------------------------------------------------------
+    # Page serving (the engine's view)
+    # ------------------------------------------------------------------
+    def page(self, page_id):
+        if page_id < 0 or page_id >= len(self.directory):
+            raise FormatError("unknown page ID %d" % page_id)
+        page = self._merged.get(page_id)
+        if page is None:
+            page = self._materialise(page_id)
+            self._merged[page_id] = page
+        return page
+
+    def is_small(self, page_id):
+        return self.directory[page_id].kind == "SP"
+
+    # The base pool's counters surface through the dynamic wrapper so the
+    # engine's page-pool accounting keeps working over mutated databases.
+    @property
+    def pool_hits(self):
+        return getattr(self._base, "pool_hits", 0)
+
+    @property
+    def pool_misses(self):
+        return getattr(self._base, "pool_misses", 0)
+
+    def _materialise(self, pid):
+        if pid >= self._base_pages:
+            return self._extension_page(pid)
+        base_page = self._base.page(pid)
+        vids = (range(base_page.start_vid,
+                      base_page.start_vid + base_page.num_records)
+                if base_page.kind.value == "SP" else (base_page.vid,))
+        if not any(v in self._extras or v in self._dead for v in vids):
+            return base_page
+        if base_page.kind.value == "SP":
+            return self._merge_small(pid, base_page)
+        return self._merge_large(pid, base_page)
+
+    def _physical_ids(self, targets):
+        """Physical ``(pid, slot)`` halves for logical neighbour IDs."""
+        targets = np.asarray(targets, dtype=np.int64)
+        pids = self.vertex_page[targets]
+        slots = targets - self.rvt.start_vids[pids]
+        return pids, slots
+
+    def _merge_small(self, pid, base_page):
+        weighted = base_page.adj_weights is not None
+        indptr = [0]
+        vid_parts, pid_parts, slot_parts, weight_parts = [], [], [], []
+        for i in range(base_page.num_records):
+            vid = base_page.start_vid + i
+            lo = int(base_page.adj_indptr[i])
+            hi = int(base_page.adj_indptr[i + 1])
+            t = base_page.adj_vids[lo:hi]
+            p = base_page.adj_pids[lo:hi]
+            s = base_page.adj_slots[lo:hi]
+            w = base_page.adj_weights[lo:hi] if weighted else None
+            dead = self._dead.get(vid)
+            if dead:
+                keep = ~np.isin(t, np.fromiter(dead, dtype=np.int64))
+                t, p, s = t[keep], p[keep], s[keep]
+                if weighted:
+                    w = w[keep]
+            vid_parts.append(t)
+            pid_parts.append(p)
+            slot_parts.append(s)
+            if weighted:
+                weight_parts.append(w)
+            extras = self._extras.get(vid)
+            if extras and extras[0]:
+                et = np.asarray(extras[0], dtype=np.int64)
+                ep, es = self._physical_ids(et)
+                vid_parts.append(et)
+                pid_parts.append(ep)
+                slot_parts.append(es)
+                if weighted:
+                    weight_parts.append(
+                        np.asarray(extras[1], dtype=np.float32))
+            indptr.append(sum(len(part) for part in vid_parts))
+        merged_vids = np.concatenate(vid_parts) if vid_parts else \
+            np.empty(0, dtype=np.int64)
+        merged_pids = np.concatenate(pid_parts) if pid_parts else \
+            np.empty(0, dtype=np.int64)
+        merged_slots = np.concatenate(slot_parts) if slot_parts else \
+            np.empty(0, dtype=np.int64)
+        merged_weights = (np.concatenate(weight_parts)
+                          if weighted and weight_parts else None)
+        return SmallPage(pid, base_page.start_vid, indptr, merged_pids,
+                         merged_slots, merged_vids, self.config,
+                         adj_weights=merged_weights)
+
+    def _merge_large(self, pid, base_page):
+        vid = base_page.vid
+        weighted = base_page.adj_weights is not None
+        t = base_page.adj_vids
+        p = base_page.adj_pids
+        s = base_page.adj_slots
+        w = base_page.adj_weights if weighted else None
+        dead = self._dead.get(vid)
+        if dead:
+            keep = ~np.isin(t, np.fromiter(dead, dtype=np.int64))
+            t, p, s = t[keep], p[keep], s[keep]
+            if weighted:
+                w = w[keep]
+        run = self._lp_runs[vid]
+        extras = self._extras.get(vid)
+        if extras and extras[0] and pid == int(run[-1]):
+            # New adjacency entries ride on the run's last chunk.
+            et = np.asarray(extras[0], dtype=np.int64)
+            ep, es = self._physical_ids(et)
+            t = np.concatenate([t, et])
+            p = np.concatenate([p, ep])
+            s = np.concatenate([s, es])
+            if weighted:
+                w = np.concatenate(
+                    [w, np.asarray(extras[1], dtype=np.float32)])
+        return LargePage(pid, vid, base_page.chunk_index, p, s, t,
+                         self.config, adj_weights=w,
+                         total_degree=int(self.out_degrees[vid]))
+
+    def _extension_page(self, pid):
+        """Synthesize the slotted page of post-build vertices."""
+        entry = self.directory[pid]
+        weighted = self.config.weight_bytes > 0
+        indptr = [0]
+        vid_parts, pid_parts, slot_parts, weight_parts = [], [], [], []
+        for i in range(entry.num_records):
+            vid = entry.start_vid + i
+            extras = self._extras.get(vid)
+            if extras and extras[0]:
+                et = np.asarray(extras[0], dtype=np.int64)
+                ep, es = self._physical_ids(et)
+                vid_parts.append(et)
+                pid_parts.append(ep)
+                slot_parts.append(es)
+                if weighted:
+                    weight_parts.append(
+                        np.asarray(extras[1], dtype=np.float32))
+            indptr.append(sum(len(part) for part in vid_parts))
+        merged_vids = (np.concatenate(vid_parts) if vid_parts
+                       else np.empty(0, dtype=np.int64))
+        merged_pids = (np.concatenate(pid_parts) if pid_parts
+                       else np.empty(0, dtype=np.int64))
+        merged_slots = (np.concatenate(slot_parts) if slot_parts
+                        else np.empty(0, dtype=np.int64))
+        merged_weights = (np.concatenate(weight_parts)
+                          if weighted and weight_parts else
+                          (np.empty(0, dtype=np.float32) if weighted
+                           else None))
+        return SmallPage(pid, entry.start_vid, indptr, merged_pids,
+                         merged_slots, merged_vids, self.config,
+                         adj_weights=merged_weights)
+
+    # ------------------------------------------------------------------
+    # Base adjacency probes (validation and tombstone accounting)
+    # ------------------------------------------------------------------
+    def _base_targets(self, vid):
+        """The vertex's neighbour VIDs in the immutable base pages."""
+        if vid >= self._base_vertices:
+            return np.empty(0, dtype=np.int64)
+        run = self._lp_runs.get(vid)
+        if run is not None:
+            return np.concatenate(
+                [self._base.page(int(pid)).adj_vids for pid in run])
+        page = self._base.page(self._base.page_for_vertex(vid))
+        slot = vid - page.start_vid
+        lo = int(page.adj_indptr[slot])
+        hi = int(page.adj_indptr[slot + 1])
+        return page.adj_vids[lo:hi]
+
+    def _committed_copies(self, src, dst):
+        """Copies of ``src -> dst`` in the committed effective adjacency."""
+        count = 0
+        if src < self.num_vertices:
+            dead = self._dead.get(src)
+            if not (dead and dst in dead):
+                count += int(np.count_nonzero(
+                    self._base_targets(src) == dst))
+            extras = self._extras.get(src)
+            if extras:
+                count += extras[0].count(dst)
+        return count
+
+    def effective_neighbors(self, vid):
+        """The vertex's current neighbour VIDs (base − dead + delta)."""
+        if vid < 0 or vid >= self.num_vertices:
+            raise UpdateError("vertex %d outside database of %d vertices"
+                              % (vid, self.num_vertices))
+        targets = self._base_targets(vid)
+        dead = self._dead.get(vid)
+        if dead:
+            targets = targets[~np.isin(
+                targets, np.fromiter(dead, dtype=np.int64))]
+        extras = self._extras.get(vid)
+        if extras and extras[0]:
+            targets = np.concatenate(
+                [targets, np.asarray(extras[0], dtype=np.int64)])
+        return targets
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, batch, log=True):
+        """Validate, durably log, then apply one batch atomically.
+
+        Returns an :class:`ApplyReport`.  Validation happens *before*
+        the WAL append, so the log only ever contains applicable
+        batches (replay cannot fail on a committed record).
+        """
+        if not isinstance(batch, UpdateBatch):
+            raise UpdateError("apply() expects an UpdateBatch")
+        self._check_batch(batch)
+        lsn = None
+        if log and self.wal is not None:
+            lsn = self.wal.append(batch)
+        report = self._apply_ops(batch)
+        report.lsn = lsn
+        self.applied_batches += 1
+        self.topology_version += 1
+        if self.recorder is not None:
+            self.recorder.instant(
+                "delta_apply", "host", "dynamic", 0.0,
+                inserted=report.inserted_edges,
+                deleted=report.deleted_edges,
+                vertices=report.added_vertices,
+                pages=len(report.affected_pids))
+        return report
+
+    def _check_batch(self, batch):
+        """Trial-run the batch without mutating state; raises on the
+        first invalid op."""
+        v_count = self.num_vertices
+        copies = {}  # (src, dst) -> copies present at this point
+        for op in batch.ops:
+            if op[0] == OP_VERTICES:
+                v_count += op[1]
+                continue
+            src, dst = op[1], op[2]
+            if src >= v_count or dst >= v_count:
+                raise UpdateError(
+                    "edge (%d, %d) references a vertex outside the "
+                    "database of %d vertices" % (src, dst, v_count))
+            key = (src, dst)
+            if key not in copies:
+                copies[key] = self._committed_copies(src, dst)
+            if op[0] == OP_INSERT:
+                copies[key] += 1
+            else:
+                if copies[key] == 0:
+                    raise UpdateError(
+                        "cannot delete missing edge (%d, %d)"
+                        % (src, dst))
+                copies[key] = 0
+
+    def _apply_ops(self, batch):
+        affected = set()
+        report = ApplyReport(lsn=None,
+                             affected_pids=np.empty(0, dtype=np.int64))
+        pages_added = False
+        for op in batch.ops:
+            if op[0] == OP_INSERT:
+                self._do_insert(op[1], op[2], op[3], affected)
+                report.inserted_edges += 1
+            elif op[0] == OP_DELETE:
+                report.deleted_edges += self._do_delete(
+                    op[1], op[2], affected)
+            else:
+                pages_added |= self._do_add_vertices(op[1], affected)
+                report.added_vertices += op[1]
+        self.inserted_edges += report.inserted_edges
+        self.deleted_edges += report.deleted_edges
+        self.added_vertices += report.added_vertices
+        if pages_added:
+            self._refresh_page_index()
+        self._refresh_pages(affected)
+        report.affected_pids = np.asarray(sorted(affected), dtype=np.int64)
+        return report
+
+    def _pids_of_vertex(self, vid):
+        run = self._lp_runs.get(vid)
+        if run is not None:
+            return [int(pid) for pid in run]
+        return [int(self.vertex_page[vid])]
+
+    def _do_insert(self, src, dst, weight, affected):
+        extras = self._extras.setdefault(src, ([], []))
+        extras[0].append(dst)
+        extras[1].append(1.0 if weight is None else float(weight))
+        self.out_degrees[src] += 1
+        self.num_edges += 1
+        self.delta_bytes += self.config.adjacency_entry_bytes
+        affected.update(self._pids_of_vertex(src))
+
+    def _do_delete(self, src, dst, affected):
+        removed = 0
+        extras = self._extras.get(src)
+        if extras:
+            removed += extras[0].count(dst)
+            if removed:
+                keep = [i for i, t in enumerate(extras[0]) if t != dst]
+                extras[0][:] = [extras[0][i] for i in keep]
+                extras[1][:] = [extras[1][i] for i in keep]
+                self.delta_bytes -= removed * self.config.adjacency_entry_bytes
+        dead = self._dead.get(src)
+        if not (dead and dst in dead):
+            in_base = int(np.count_nonzero(self._base_targets(src) == dst))
+            if in_base:
+                self._dead.setdefault(src, set()).add(dst)
+                self.tombstoned_edges += 1
+                self.delta_bytes += self.config.record_id_bytes
+                removed += in_base
+        if removed == 0:
+            raise UpdateError(
+                "cannot delete missing edge (%d, %d)" % (src, dst))
+        self.out_degrees[src] -= removed
+        self.num_edges -= removed
+        affected.update(self._pids_of_vertex(src))
+        return removed
+
+    def _ext_capacity(self):
+        """Records one extension page may hold (slot- and byte-bounded)."""
+        by_bytes = self.config.page_size // self.config.vertex_bytes(0)
+        return max(1, min(self.config.max_slot_number, by_bytes))
+
+    def _do_add_vertices(self, count, affected):
+        pages_added = False
+        first = self.num_vertices
+        capacity = self._ext_capacity()
+        for vid in range(first, first + count):
+            entry = (self.directory[self._open_ext]
+                     if self._open_ext is not None else None)
+            if entry is None or entry.num_records >= capacity:
+                pid = len(self.directory)
+                self.directory.append(PageDirectoryEntry(
+                    page_id=pid, kind="SP", start_vid=vid,
+                    num_records=0, num_edges=0, used_bytes=0))
+                self.pages.append(None)
+                self.rvt = RecordVertexTable(
+                    np.append(self.rvt.start_vids, vid),
+                    np.append(self.rvt.lp_ranges, -1))
+                self._open_ext = pid
+                entry = self.directory[pid]
+                pages_added = True
+            pid = self._open_ext
+            self.directory[pid] = dataclasses.replace(
+                entry, num_records=entry.num_records + 1)
+            self.vertex_page = np.append(self.vertex_page, pid)
+            self.num_vertices += 1
+            self.delta_bytes += self.config.slot_entry_bytes
+            affected.add(pid)
+        self.out_degrees = np.concatenate(
+            [self.out_degrees, np.zeros(count, dtype=np.int64)])
+        return pages_added
+
+    def _refresh_pages(self, pids):
+        """Re-materialise updated pages and sync their directory rows —
+        the per-PID merged-page cache invalidation the engine sees."""
+        for pid in pids:
+            self._merged.pop(pid, None)
+            page = self._materialise(pid)
+            self._merged[pid] = page
+            self.directory[pid] = dataclasses.replace(
+                self.directory[pid], num_edges=page.num_edges,
+                used_bytes=page.used_bytes())
+            if page is not self._base_page_or_none(pid):
+                self._overlaid_pids.add(pid)
+
+    def _base_page_or_none(self, pid):
+        if pid < self._base_pages:
+            return self._base.page(pid)
+        return None
+
+    def _refresh_page_index(self):
+        self._small_page_ids = np.asarray(
+            [e.page_id for e in self.directory if e.kind == "SP"],
+            dtype=np.int64)
+        self._large_page_ids = np.asarray(
+            [e.page_id for e in self.directory if e.kind == "LP"],
+            dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Delta accounting (compaction trigger + repro.obs)
+    # ------------------------------------------------------------------
+    @property
+    def num_delta_pages(self):
+        """Pages whose served form differs from the base (overflow +
+        extension pages) — the dynamic analogue of #SP/#LP."""
+        return len(self._overlaid_pids)
+
+    @property
+    def num_extension_pages(self):
+        return len(self.directory) - self._base_pages
+
+    def dynamic_stats(self):
+        """Counter snapshot consumed by ``repro.obs`` and the CLI."""
+        return {
+            "applied_batches": self.applied_batches,
+            "inserted_edges": self.inserted_edges,
+            "deleted_edges": self.deleted_edges,
+            "added_vertices": self.added_vertices,
+            "tombstoned_edges": self.tombstoned_edges,
+            "delta_bytes": self.delta_bytes,
+            "delta_pages": self.num_delta_pages,
+            "extension_pages": self.num_extension_pages,
+            "compactions": self.compactions,
+            "compaction_folded_bytes": self.compaction_folded_bytes,
+            "wal_records_appended": (self.wal.records_appended
+                                     if self.wal else 0),
+            "wal_bytes_appended": (self.wal.bytes_appended
+                                   if self.wal else 0),
+        }
+
+    # ------------------------------------------------------------------
+    # Base swap (compaction commits through here)
+    # ------------------------------------------------------------------
+    def swap_base(self, new_base, folded_bytes=0):
+        """Replace the base database after compaction folded the deltas.
+
+        Resets every overlay structure, truncates the WAL (its batches
+        are now part of the base), and bumps the topology version so
+        engines re-index their page runs.
+        """
+        self._adopt_base(new_base)
+        self.pages = [None] * new_base.num_pages
+        self.directory = list(new_base.directory)
+        self.rvt = RecordVertexTable(new_base.rvt.start_vids.copy(),
+                                     new_base.rvt.lp_ranges.copy())
+        self.num_vertices = new_base.num_vertices
+        self.num_edges = new_base.num_edges
+        self.out_degrees = new_base.out_degrees.copy()
+        self.vertex_page = new_base.vertex_page.copy()
+        self._refresh_page_index()
+        self.compactions += 1
+        self.compaction_folded_bytes += folded_bytes
+        self.topology_version += 1
+        if self.wal is not None:
+            self.wal.reset()
+        if self.recorder is not None:
+            self.recorder.instant("compaction", "host", "dynamic", 0.0,
+                                  folded_bytes=folded_bytes,
+                                  pages=new_base.num_pages)
+
+    # ------------------------------------------------------------------
+    # Validation (overrides the base's pages-list walk)
+    # ------------------------------------------------------------------
+    def validate(self):
+        """Check overlay invariants through the serving path."""
+        covered = 0
+        total_edges = 0
+        for entry in self.directory:
+            page = self.page(entry.page_id)
+            if entry.kind == "SP":
+                covered += entry.num_records
+            elif page.chunk_index == 0:
+                covered += 1
+            if entry.num_edges != page.num_edges:
+                raise FormatError(
+                    "directory says %d edges in page %d, merged page "
+                    "holds %d" % (entry.num_edges, entry.page_id,
+                                  page.num_edges))
+            total_edges += page.num_edges
+            translated = self.rvt.translate(page.adj_pids, page.adj_slots)
+            if not np.array_equal(translated, page.adj_vids):
+                raise FormatError(
+                    "RVT translation mismatch in page %d" % entry.page_id)
+        if covered != self.num_vertices:
+            raise FormatError("pages cover %d vertices, expected %d"
+                              % (covered, self.num_vertices))
+        if total_edges != self.num_edges:
+            raise FormatError("pages hold %d edges, expected %d"
+                              % (total_edges, self.num_edges))
+        if int(self.out_degrees.sum()) != self.num_edges:
+            raise FormatError("degree sum disagrees with edge count")
+        return True
+
+    def __repr__(self):
+        return ("DynamicGraphDatabase(%s: V=%d, E=%d, +%d -%d, "
+                "delta=%dB over %d page(s))"
+                % (self.name, self.num_vertices, self.num_edges,
+                   self.inserted_edges, self.deleted_edges,
+                   self.delta_bytes, self.num_delta_pages))
+
+
+def open_dynamic_database(prefix, pool_pages=None, fsync=True,
+                          recorder=None):
+    """Open ``<prefix>``'s base + WAL and replay committed batches.
+
+    This is the crash-recovery entry point: the base pages come from
+    ``<prefix>.meta.json`` / ``<prefix>.pages`` (lazily when
+    ``pool_pages`` is given), the log from ``<prefix>.wal``, and every
+    committed batch is re-applied in order — a torn tail from a crash
+    mid-append is detected via checksums and truncated away.
+    """
+    if pool_pages is not None:
+        base = FileBackedDatabase(prefix, pool_pages=pool_pages)
+    else:
+        base = load_database(prefix)
+    wal = WriteAheadLog(prefix + ".wal", fsync=fsync, recorder=recorder)
+    db = DynamicGraphDatabase(base, wal=wal, recorder=recorder)
+    for batch in wal.replay(repair=True):
+        db.apply(batch, log=False)
+    return db

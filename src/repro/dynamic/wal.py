@@ -1,0 +1,229 @@
+"""Write-ahead log for update batches (crash-durable mutations).
+
+FlashGraph-style durability for the dynamic layer: every
+:class:`~repro.dynamic.batch.UpdateBatch` is appended to
+``<prefix>.wal`` *before* it mutates the in-memory delta state, so a
+crash at any point loses at most the batch being written — never a
+committed one.
+
+On-disk layout::
+
+    +----------+------------------------------------------+
+    | header   | b"GTSWAL01"  (8 bytes)                   |
+    +----------+------------------------------------------+
+    | record 0 | LEN (4 B LE) | CRC32 (4 B LE) | payload  |
+    | record 1 | ...                                      |
+    +----------+------------------------------------------+
+
+``payload`` is the UTF-8 JSON of ``UpdateBatch.to_dict()`` and ``CRC32``
+is :func:`zlib.crc32` over it.  Append is ``write + flush + fsync``.
+
+Recovery (:meth:`WriteAheadLog.replay`) reads records until the file
+ends.  A record whose length field, payload, or checksum cannot be read
+*at the tail* is a **torn tail** — the half-written victim of a crash —
+and replay stops cleanly before it (optionally truncating the file back
+to the last good record).  A bad checksum *followed by further intact
+bytes* means real corruption, which raises
+:class:`~repro.errors.WALError` instead of silently dropping data.
+"""
+
+import json
+import os
+import struct
+import zlib
+
+from repro.dynamic.batch import UpdateBatch
+from repro.errors import WALError
+
+#: File magic; bump the trailing digits when the record layout changes.
+WAL_MAGIC = b"GTSWAL01"
+
+_HEADER = struct.Struct("<II")  # LEN, CRC32
+
+#: Refuse absurd record lengths (a corrupt LEN field would otherwise
+#: make replay attempt a multi-gigabyte read).
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+class ReplayReport:
+    """What :meth:`WriteAheadLog.replay` found in the log."""
+
+    def __init__(self):
+        self.batches = []
+        self.good_bytes = len(WAL_MAGIC)
+        self.torn_bytes = 0
+        self.truncated = False
+
+    @property
+    def num_batches(self):
+        return len(self.batches)
+
+    def __iter__(self):
+        return iter(self.batches)
+
+
+class WriteAheadLog:
+    """Append-only, checksummed log of update batches.
+
+    Parameters
+    ----------
+    path:
+        The log file; created (with its magic header) if missing.
+    fsync:
+        Issue ``os.fsync`` after every append (durable by default;
+        tests may disable it for speed).
+    recorder:
+        Optional :class:`~repro.obs.events.TraceRecorder`; appends,
+        replays and truncations become instants on the ``host``/``wal``
+        lane when one is attached.
+    """
+
+    def __init__(self, path, fsync=True, recorder=None):
+        self.path = path
+        self.fsync = fsync
+        self.recorder = recorder
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.replays = 0
+        self.torn_tail_truncations = 0
+        if not os.path.exists(path):
+            with open(path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        else:
+            with open(path, "rb") as handle:
+                magic = handle.read(len(WAL_MAGIC))
+            if magic != WAL_MAGIC:
+                raise WALError("%s: not a GTS WAL (bad magic %r)"
+                               % (path, magic))
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def encode_record(batch):
+        """Serialize one batch to its framed record bytes."""
+        payload = json.dumps(batch.to_dict(),
+                             separators=(",", ":")).encode("utf-8")
+        return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def append(self, batch):
+        """Durably append ``batch``; returns its record index (LSN)."""
+        record = self.encode_record(batch)
+        with open(self.path, "ab") as handle:
+            handle.write(record)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        lsn = self.records_appended
+        self.records_appended += 1
+        self.bytes_appended += len(record)
+        self._instant("wal_append", lsn=lsn, bytes=len(record))
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Recovery path
+    # ------------------------------------------------------------------
+    def replay(self, repair=False):
+        """Read back every committed batch; returns a :class:`ReplayReport`.
+
+        A torn tail (crash mid-append) ends replay at the last good
+        record; with ``repair=True`` the file is truncated back to that
+        point so later appends continue from a clean tail.  Corruption
+        *before* the tail raises :class:`~repro.errors.WALError`.
+        """
+        report = ReplayReport()
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+            raise WALError("%s: not a GTS WAL" % self.path)
+        offset = len(WAL_MAGIC)
+        total = len(data)
+        while offset < total:
+            tail = self._decode_at(data, offset, report)
+            if tail is None:
+                break
+            offset = tail
+        report.torn_bytes = total - report.good_bytes
+        if report.torn_bytes and repair:
+            self._truncate_to(report.good_bytes)
+            report.truncated = True
+            self.torn_tail_truncations += 1
+        self.replays += 1
+        self._instant("wal_replay", batches=report.num_batches,
+                      torn_bytes=report.torn_bytes)
+        return report
+
+    def _decode_at(self, data, offset, report):
+        """Decode one record; returns the next offset or None on a torn
+        tail.  Raises :class:`WALError` for mid-log corruption."""
+        header = data[offset:offset + _HEADER.size]
+        if len(header) < _HEADER.size:
+            return None  # torn tail: partial header
+        length, checksum = _HEADER.unpack(header)
+        if length > MAX_RECORD_BYTES:
+            if offset + _HEADER.size == len(data):
+                return None  # garbage header right at the tail
+            raise WALError(
+                "%s: record at byte %d claims %d bytes"
+                % (self.path, offset, length))
+        start = offset + _HEADER.size
+        payload = data[start:start + length]
+        if len(payload) < length:
+            return None  # torn tail: partial payload
+        if zlib.crc32(payload) != checksum:
+            if start + length == len(data):
+                return None  # torn tail: payload half-flushed
+            raise WALError(
+                "%s: checksum mismatch at byte %d (mid-log corruption)"
+                % (self.path, offset))
+        try:
+            batch = UpdateBatch.from_dict(json.loads(payload))
+        except (ValueError, KeyError) as error:
+            raise WALError(
+                "%s: undecodable record at byte %d: %s"
+                % (self.path, offset, error))
+        report.batches.append(batch)
+        report.good_bytes = start + length
+        return start + length
+
+    def _truncate_to(self, good_bytes):
+        with open(self.path, "r+b") as handle:
+            handle.truncate(good_bytes)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def reset(self):
+        """Empty the log (called after compaction folds it into the base).
+
+        Writes a fresh header to a temp file and atomically replaces the
+        log, so a crash during reset leaves either the old or the new log
+        — never a headerless file.
+        """
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(WAL_MAGIC)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._instant("wal_reset")
+
+    def size_bytes(self):
+        """Current on-disk size of the log."""
+        return os.path.getsize(self.path)
+
+    def _instant(self, name, **args):
+        if self.recorder is not None:
+            self.recorder.instant(name, "host", "wal",
+                                  0.0, path=self.path, **args)
+
+    def __repr__(self):
+        return "WriteAheadLog(%r, %d appended)" % (
+            self.path, self.records_appended)

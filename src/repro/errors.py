@@ -40,5 +40,24 @@ class ConfigurationError(GTSError):
     """An engine or hardware component was configured inconsistently."""
 
 
+class UpdateError(GTSError):
+    """A dynamic-graph mutation was invalid.
+
+    Raised when an :class:`~repro.dynamic.batch.UpdateBatch` references a
+    vertex outside the database, deletes an edge that does not exist, or
+    mixes operations a consumer cannot honour (e.g. asking for incremental
+    recomputation over a batch containing deletions).
+    """
+
+
+class WALError(GTSError):
+    """The write-ahead log is corrupt beyond a torn tail.
+
+    A truncated final record (a crash mid-append) is *recoverable* and is
+    not an error; a checksum mismatch or impossible length anywhere else
+    means the log cannot be trusted and replay raises this.
+    """
+
+
 class SimulationError(GTSError):
     """The discrete-event simulation reached an inconsistent state."""

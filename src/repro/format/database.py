@@ -48,6 +48,11 @@ class GraphDatabase:
         #: (its small page, or the first of its large pages).
         self.vertex_page = np.asarray(vertex_page, dtype=np.int64)
         self.name = name or "graph"
+        #: Monotone counter bumped whenever the topology mutates (the
+        #: dynamic layer increments it per applied batch and per
+        #: compaction); engines compare it against the value seen at
+        #: construction to invalidate page-derived indexes.
+        self.topology_version = 0
         self._small_page_ids = np.array(
             [e.page_id for e in directory if e.kind == "SP"], dtype=np.int64)
         self._large_page_ids = np.array(

@@ -18,6 +18,17 @@ Layout on disk::
 
     <prefix>.meta.json   format config, directory, RVT, degrees
     <prefix>.pages       page 0 bytes, page 1 bytes, ... (fixed stride)
+    <prefix>.wal         dynamic-update write-ahead log (optional; only
+                         present once :mod:`repro.dynamic` has mutated
+                         the database).  Layout: 8-byte magic
+                         ``GTSWAL01`` then length/CRC32-framed JSON
+                         update batches — see :mod:`repro.dynamic.wal`.
+                         Folded into ``.meta.json``/``.pages`` (and
+                         emptied) by compaction.
+
+Both base files are written to temporaries and moved into place with
+``os.replace``, so a crash mid-save leaves the previous pair intact
+rather than a torn half-write.
 """
 
 import json
@@ -39,7 +50,11 @@ FORMAT_VERSION = 1
 def save_database(db, prefix):
     """Write ``db`` under ``<prefix>.meta.json`` / ``<prefix>.pages``.
 
-    Returns the pair of paths written.
+    Returns the pair of paths written.  The write is atomic per file:
+    content goes to ``<path>.tmp`` first and is renamed into place with
+    ``os.replace``, pages before metadata — a crash can leave a stale
+    temp file behind but never a corrupt or mismatched pair (the
+    metadata always describes a fully written pages file).
     """
     meta_path = prefix + ".meta.json"
     pages_path = prefix + ".pages"
@@ -80,11 +95,17 @@ def save_database(db, prefix):
             for page in db.pages if page.kind.value == "LP"
         },
     }
-    with open(meta_path, "w") as handle:
-        json.dump(metadata, handle)
-    with open(pages_path, "wb") as handle:
+    with open(pages_path + ".tmp", "wb") as handle:
         for page in db.pages:
             handle.write(page.to_bytes())
+        handle.flush()
+        os.fsync(handle.fileno())
+    with open(meta_path + ".tmp", "w") as handle:
+        json.dump(metadata, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(pages_path + ".tmp", pages_path)
+    os.replace(meta_path + ".tmp", meta_path)
     return meta_path, pages_path
 
 

@@ -25,6 +25,8 @@ from repro.obs.events import (
     CACHE_EVICT,
     CACHE_HIT,
     CACHE_MISS,
+    COMPACTION,
+    DELTA_APPLY,
     H2D_COPY,
     KERNEL,
     MM_BUFFER_HIT,
@@ -34,6 +36,9 @@ from repro.obs.events import (
     SSD_FETCH,
     WA_BROADCAST,
     WA_SYNC,
+    WAL_APPEND,
+    WAL_REPLAY,
+    WAL_RESET,
     TraceEvent,
     TraceRecorder,
 )
@@ -49,6 +54,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    collect_dynamic_metrics,
     collect_run_metrics,
 )
 
@@ -68,6 +74,11 @@ __all__ = [
     "WA_SYNC",
     "ROUND",
     "ROUND_BARRIER",
+    "WAL_APPEND",
+    "WAL_REPLAY",
+    "WAL_RESET",
+    "DELTA_APPLY",
+    "COMPACTION",
     "MICROSECONDS",
     "chrome_trace",
     "write_chrome_trace",
@@ -78,6 +89,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "collect_run_metrics",
+    "collect_dynamic_metrics",
     "CostModelDrift",
     "cost_model_drift",
     "record_drift",

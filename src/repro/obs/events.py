@@ -47,6 +47,11 @@ WA_BROADCAST = "wa_broadcast"
 WA_SYNC = "wa_sync"
 ROUND = "round"
 ROUND_BARRIER = "round_barrier"
+WAL_APPEND = "wal_append"
+WAL_REPLAY = "wal_replay"
+WAL_RESET = "wal_reset"
+DELTA_APPLY = "delta_apply"
+COMPACTION = "compaction"
 
 #: Event name -> category (the Chrome ``cat`` field, used for filtering
 #: in the Perfetto UI).
@@ -64,6 +69,11 @@ CATEGORIES = {
     WA_SYNC: "sync",
     ROUND: "round",
     ROUND_BARRIER: "round",
+    WAL_APPEND: "dynamic",
+    WAL_REPLAY: "dynamic",
+    WAL_RESET: "dynamic",
+    DELTA_APPLY: "dynamic",
+    COMPACTION: "dynamic",
 }
 
 #: Phase markers matching the Chrome trace-event ``ph`` field.

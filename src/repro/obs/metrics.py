@@ -227,6 +227,14 @@ def collect_run_metrics(result, registry=None):
     registry.counter("mm_buffer.hits").inc(result.mm_buffer_hits)
     registry.counter("mm_buffer.misses").inc(result.mm_buffer_misses)
     registry.gauge("mm_buffer.hit_rate").set(result.mm_buffer_hit_rate)
+    if result.pool_hits or result.pool_misses:
+        registry.counter("pool.hits",
+                         "host page-pool hits (file-backed DB)"
+                         ).inc(result.pool_hits)
+        registry.counter("pool.misses",
+                         "host page-pool misses (file-backed DB)"
+                         ).inc(result.pool_misses)
+        registry.gauge("pool.hit_rate").set(result.pool_hit_rate)
 
     registry.gauge("pipeline.transfer_busy_seconds").set(
         result.transfer_busy_seconds)
@@ -244,4 +252,38 @@ def collect_run_metrics(result, registry=None):
         latency.observe(stats.elapsed)
         round_bytes.observe(stats.bytes_streamed)
         round_pages.observe(stats.pages_dispatched)
+    return registry
+
+
+def collect_dynamic_metrics(db, registry=None):
+    """Populate a registry from a dynamic database's update counters.
+
+    ``db`` is any object exposing ``dynamic_stats()`` (see
+    :meth:`repro.dynamic.delta.DynamicGraphDatabase.dynamic_stats`);
+    returns the registry (a fresh one when none is given).  Names are
+    stable, mirroring :func:`collect_run_metrics`.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    stats = db.dynamic_stats()
+    registry.counter("dynamic.applied_batches",
+                     "update batches applied").inc(stats["applied_batches"])
+    registry.counter("dynamic.inserted_edges").inc(stats["inserted_edges"])
+    registry.counter("dynamic.deleted_edges").inc(stats["deleted_edges"])
+    registry.counter("dynamic.added_vertices").inc(stats["added_vertices"])
+    registry.counter("dynamic.tombstoned_edges").inc(
+        stats["tombstoned_edges"])
+    registry.gauge("dynamic.delta_bytes",
+                   "bytes of unfolded delta overlay"
+                   ).set(stats["delta_bytes"])
+    registry.gauge("dynamic.delta_pages",
+                   "pages whose served form differs from the base"
+                   ).set(stats["delta_pages"])
+    registry.gauge("dynamic.extension_pages").set(stats["extension_pages"])
+    registry.counter("wal.records_appended").inc(
+        stats["wal_records_appended"])
+    registry.counter("wal.bytes_appended").inc(stats["wal_bytes_appended"])
+    registry.counter("compaction.count").inc(stats["compactions"])
+    registry.counter("compaction.folded_bytes").inc(
+        stats["compaction_folded_bytes"])
     return registry

@@ -1,0 +1,173 @@
+"""Write-ahead log: framing, durability, torn tails, corruption."""
+
+import os
+
+import pytest
+
+from repro.dynamic import UpdateBatch, WriteAheadLog, parse_batch_file
+from repro.dynamic.wal import WAL_MAGIC
+from repro.errors import UpdateError, WALError
+
+
+def _sample_batches():
+    return [
+        UpdateBatch().insert_edge(0, 1).insert_edge(1, 2, weight=2.5),
+        UpdateBatch().delete_edge(0, 1),
+        UpdateBatch().add_vertices(3).insert_edge(5, 0),
+    ]
+
+
+class TestUpdateBatch:
+    def test_op_accounting(self):
+        batch = (UpdateBatch().insert_edge(0, 1).delete_edge(2, 3)
+                 .add_vertices(4).insert_edge(1, 0))
+        assert batch.num_inserts == 2
+        assert batch.num_deletes == 1
+        assert batch.num_new_vertices == 4
+        assert batch.has_deletes
+        assert len(batch) == 4
+        assert batch.touched_vertices() == [0, 1, 2, 3]
+
+    def test_round_trips_through_dict(self):
+        for batch in _sample_batches():
+            clone = UpdateBatch.from_dict(batch.to_dict())
+            assert clone.ops == batch.ops
+
+    def test_rejects_negative_ids_and_bad_counts(self):
+        with pytest.raises(UpdateError):
+            UpdateBatch().insert_edge(-1, 0)
+        with pytest.raises(UpdateError):
+            UpdateBatch().delete_edge(0, -2)
+        with pytest.raises(UpdateError):
+            UpdateBatch().add_vertices(0)
+
+    def test_from_dict_rejects_malformed_ops(self):
+        with pytest.raises(UpdateError):
+            UpdateBatch.from_dict({"ops": [["?", 1, 2]]})
+        with pytest.raises(UpdateError):
+            UpdateBatch.from_dict({"ops": [["+", 1]]})
+
+    def test_parse_batch_file(self, tmp_path):
+        path = tmp_path / "batch.txt"
+        path.write_text(
+            "# comment\n\nadd 1 2\nadd 3 4 2.5\ndel 1 2\nvertex\nvertex 3\n")
+        batch = parse_batch_file(str(path))
+        assert batch.num_inserts == 2
+        assert batch.num_deletes == 1
+        assert batch.num_new_vertices == 4
+        assert batch.ops[1] == ("+", 3, 4, 2.5)
+
+    def test_parse_batch_file_reports_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("add 1 2\nbogus line\n")
+        with pytest.raises(UpdateError, match=r":2:"):
+            parse_batch_file(str(path))
+
+
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        batches = _sample_batches()
+        lsns = [wal.append(b) for b in batches]
+        assert lsns == [0, 1, 2]
+
+        report = WriteAheadLog(path).replay()
+        assert report.num_batches == 3
+        assert not report.truncated
+        assert report.torn_bytes == 0
+        for original, replayed in zip(batches, report):
+            assert replayed.ops == original.ops
+
+    def test_creates_file_with_magic(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        WriteAheadLog(path)
+        assert open(path, "rb").read() == WAL_MAGIC
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.bin"
+        path.write_bytes(b"NOTAWAL!" + b"x" * 16)
+        with pytest.raises(WALError, match="magic"):
+            WriteAheadLog(str(path))
+
+    @pytest.mark.parametrize("chop", [1, 3, 7])
+    def test_torn_tail_recovers_prefix(self, tmp_path, chop):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        for batch in _sample_batches():
+            wal.append(batch)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - chop)
+
+        report = WriteAheadLog(path).replay(repair=True)
+        assert report.num_batches == 2
+        assert report.truncated
+        # After repair, the file ends exactly at the last good record.
+        assert os.path.getsize(path) == report.good_bytes
+        clean = WriteAheadLog(path).replay()
+        assert clean.num_batches == 2
+        assert clean.torn_bytes == 0
+
+    def test_append_after_repair_continues_cleanly(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(UpdateBatch().insert_edge(0, 1))
+        wal.append(UpdateBatch().insert_edge(1, 2))
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 2)
+        WriteAheadLog(path).replay(repair=True)
+
+        fresh = WriteAheadLog(path)
+        fresh.append(UpdateBatch().insert_edge(2, 3))
+        batches = list(WriteAheadLog(path).replay())
+        assert [b.ops for b in batches] == [
+            [("+", 0, 1, None)], [("+", 2, 3, None)]]
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        for batch in _sample_batches():
+            wal.append(batch)
+        # Flip a payload byte of the FIRST record: checksum mismatch
+        # with intact data after it is corruption, not a torn tail.
+        with open(path, "r+b") as handle:
+            handle.seek(len(WAL_MAGIC) + 8 + 2)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(WALError, match="checksum"):
+            WriteAheadLog(path).replay()
+
+    def test_replay_without_repair_leaves_file(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(UpdateBatch().insert_edge(0, 1))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 1)
+        report = WriteAheadLog(path).replay(repair=False)
+        assert report.num_batches == 0
+        assert not report.truncated
+        assert os.path.getsize(path) == size - 1  # untouched
+
+    def test_reset_empties_log(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(UpdateBatch().insert_edge(0, 1))
+        wal.reset()
+        assert os.path.getsize(path) == len(WAL_MAGIC)
+        assert WriteAheadLog(path).replay().num_batches == 0
+
+    def test_instants_reach_recorder(self, tmp_path):
+        from repro.obs import TraceRecorder
+        recorder = TraceRecorder()
+        wal = WriteAheadLog(str(tmp_path / "log.wal"), recorder=recorder)
+        wal.append(UpdateBatch().insert_edge(0, 1))
+        wal.replay()
+        wal.reset()
+        counts = recorder.counts()
+        assert counts["wal_append"] == 1
+        assert counts["wal_replay"] == 1
+        assert counts["wal_reset"] == 1
+        assert all(e.category == "dynamic" for e in recorder)

@@ -205,3 +205,64 @@ class TestFileBackedDatabase:
         lazy = self._open(rmat_db, tmp_path)
         with pytest.raises(FormatError):
             lazy.page(10 ** 6)
+
+
+class TestEnginePagePool:
+    """The engine must see identical results through a page pool small
+    enough to force evictions, and surface the pool's hit rate."""
+
+    def _open(self, rmat_db, tmp_path, pool_pages):
+        from repro.format.io import FileBackedDatabase
+        prefix = str(tmp_path / "pooled")
+        save_database(rmat_db, prefix)
+        return FileBackedDatabase(prefix, pool_pages=pool_pages)
+
+    def test_results_identical_under_eviction_pressure(self, rmat_db,
+                                                       machine, tmp_path):
+        from repro.core import BFSKernel, GTSEngine, PageRankKernel
+
+        # A pool far smaller than the database forces constant eviction.
+        pool_pages = max(2, rmat_db.num_pages // 8)
+        lazy = self._open(rmat_db, tmp_path, pool_pages)
+        start = int(np.argmax(rmat_db.out_degrees))
+
+        eager_engine = GTSEngine(rmat_db, machine)
+        lazy_engine = GTSEngine(lazy, machine)
+        for kernel_factory in (lambda: BFSKernel(start_vertex=start),
+                               lambda: PageRankKernel(iterations=4)):
+            want = eager_engine.run(kernel_factory())
+            got = lazy_engine.run(kernel_factory())
+            for key in want.values:
+                np.testing.assert_allclose(
+                    got.values[key], want.values[key], atol=1e-12)
+
+        # Eviction really happened: the pool stayed at capacity and
+        # pages were re-read after being dropped.
+        assert lazy.resident_pages() <= pool_pages
+        assert lazy.pool_misses > lazy.num_pages
+
+    def test_run_result_reports_pool_hit_rate(self, rmat_db, machine,
+                                              tmp_path):
+        from repro.core import GTSEngine, PageRankKernel
+
+        lazy = self._open(rmat_db, tmp_path, pool_pages=16)
+        result = GTSEngine(lazy, machine).run(PageRankKernel(iterations=3))
+        assert result.pool_hits + result.pool_misses > 0
+        assert 0.0 <= result.pool_hit_rate <= 1.0
+        assert "page-pool hit rate" in result.summary()
+        payload = result.to_dict()
+        assert payload["pool_hits"] == result.pool_hits
+        assert payload["pool_misses"] == result.pool_misses
+
+    def test_counters_are_per_run_deltas(self, rmat_db, machine, tmp_path):
+        from repro.core import GTSEngine, PageRankKernel
+
+        lazy = self._open(rmat_db, tmp_path, pool_pages=16)
+        engine = GTSEngine(lazy, machine)
+        first = engine.run(PageRankKernel(iterations=2))
+        second = engine.run(PageRankKernel(iterations=2))
+        # Each RunResult carries only its own run's pool traffic, not
+        # the database's cumulative counters.
+        assert second.pool_hits + second.pool_misses < (
+            lazy.pool_hits + lazy.pool_misses)
+        assert first.pool_misses > 0
