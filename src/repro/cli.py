@@ -54,7 +54,7 @@ from repro.core import (
     WCCKernel,
 )
 from repro.core.optimizer import recommend_configuration
-from repro.errors import GTSError
+from repro.errors import ConfigurationError, GTSError
 from repro.format import PageFormatConfig, build_database
 from repro.graphgen.io import read_edge_list
 from repro.hardware.specs import scaled_workstation
@@ -111,7 +111,10 @@ def build_parser():
         source.add_argument("--db", metavar="PREFIX",
                             help="saved database prefix (loads "
                                  "<PREFIX>.meta.json/.pages and replays "
-                                 "<PREFIX>.wal if present)")
+                                 "<PREFIX>.wal if present; the topology "
+                                 "is used as-is, so it must already be "
+                                 "weighted/symmetrised if the algorithm "
+                                 "needs that)")
         sub.add_argument("--algorithm", choices=sorted(ALGORITHMS),
                          default="bfs")
         sub.add_argument("--start", type=int, default=None,
@@ -210,8 +213,22 @@ def _load_database(args):
     weighted = ALGORITHMS[args.algorithm][1]
     symmetrised = ALGORITHMS[args.algorithm][2]
     if getattr(args, "db", None):
+        # A saved topology is used exactly as built — it cannot be
+        # re-weighted or symmetrised here, so check it satisfies the
+        # algorithm's requirements instead of silently mis-running.
         from repro.dynamic import open_dynamic_database
         db = open_dynamic_database(args.db)
+        if weighted and db.config.weight_bytes == 0:
+            raise ConfigurationError(
+                "algorithm %r needs edge weights, but the database "
+                "saved at %r was built without them (weight_bytes=0); "
+                "rebuild it from a weighted edge list"
+                % (args.algorithm, args.db))
+        if symmetrised:
+            print("warning: %s expects a symmetrised graph; the saved "
+                  "topology at %r is used as-is (directed edges stay "
+                  "directed)" % (args.algorithm, args.db),
+                  file=sys.stderr)
         return None, db, args.db
     if args.dataset:
         graph = dataset_graph(args.dataset, weighted=weighted,

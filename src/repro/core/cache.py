@@ -93,22 +93,6 @@ class PageCache:
         self._instant("cache_admit", page_id, ts)
         return victim
 
-    def invalidate(self, page_ids, ts=None):
-        """Drop cached copies of mutated pages (delta-overlay updates).
-
-        The dynamic layer rewrites a page's merged view in place; any
-        GPU-resident copy is then stale and must be dropped so the next
-        probe restreams it.  Returns the number of pages dropped.
-        """
-        dropped = 0
-        for page_id in page_ids:
-            page_id = int(page_id)
-            if page_id in self._pages:
-                del self._pages[page_id]
-                dropped += 1
-                self._instant("cache_evict", page_id, ts)
-        return dropped
-
     def _instant(self, name, page_id, ts):
         if self.recorder is not None and ts is not None:
             self.recorder.instant(name, self.lane, "page cache", ts,

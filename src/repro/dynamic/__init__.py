@@ -35,7 +35,12 @@ from repro.dynamic.incremental import (
     incremental_wcc,
     insert_seeds,
 )
-from repro.dynamic.wal import WAL_MAGIC, ReplayReport, WriteAheadLog
+from repro.dynamic.wal import (
+    WAL_HEADER_BYTES,
+    WAL_MAGIC,
+    ReplayReport,
+    WriteAheadLog,
+)
 
 __all__ = [
     "UpdateBatch",
@@ -43,6 +48,7 @@ __all__ = [
     "WriteAheadLog",
     "ReplayReport",
     "WAL_MAGIC",
+    "WAL_HEADER_BYTES",
     "DynamicGraphDatabase",
     "ApplyReport",
     "open_dynamic_database",

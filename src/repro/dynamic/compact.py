@@ -10,12 +10,22 @@ original :func:`~repro.format.builder.build_database` (same
 new base.  The WAL is truncated afterwards: its batches are now part of
 the base pages.
 
-Crash ordering matters when the database lives on disk: the new base is
-saved (atomically, via :func:`~repro.format.io.save_database`'s
-temp-file + ``os.replace`` protocol) *before* the WAL is reset, so a
-crash between the two steps leaves a new base plus a stale WAL whose
-replay is idempotent in the worst case — never an old base with an
-empty WAL.
+Crash ordering matters when the database lives on disk, and WAL replay
+is **not** idempotent (re-applied inserts duplicate parallel edges;
+re-applied deletes of already-folded edges fail validation), so the
+two steps are sequenced through a *WAL epoch*: compaction bumps the
+epoch, saves the new base (atomically, via
+:func:`~repro.format.io.save_database`'s temp-file + ``os.replace``
+protocol) with the bumped epoch in its metadata, and only then resets
+the WAL, stamping the same epoch into the fresh header.  A crash
+between the two steps leaves a new base whose epoch is ahead of the
+stale log; :func:`~repro.dynamic.delta.open_dynamic_database` sees the
+mismatch and discards the log instead of replaying batches the base
+already contains.  A crash before the save leaves the old base with
+the old-epoch WAL, which replays normally.  Compacting *without* a
+``save_prefix`` leaves the WAL untouched: the on-disk base still
+predates the deltas, so the log's records remain the only durable copy
+of the folded batches.
 """
 
 import dataclasses
@@ -91,17 +101,23 @@ def compact(db, save_prefix=None):
     """Fold ``db``'s deltas into a fresh base; returns a report.
 
     When ``save_prefix`` is given the new base is persisted there
-    (atomically) before the in-memory swap resets the WAL — see the
-    module docstring for why that order is crash-safe.
+    (atomically) with a bumped WAL epoch before the in-memory swap
+    resets the WAL — see the module docstring for why that order is
+    crash-safe.  ``save_prefix`` must be the prefix whose WAL ``db``
+    has attached (they commit as a pair); without one, the WAL is kept.
     """
     folded_bytes = db.delta_bytes
     folded_batches = db.applied_batches
     pages_before = len(db.directory)
     graph = materialise_graph(db)
     new_base = build_database(graph, db.config, name=db.name)
+    new_epoch = None
     if save_prefix is not None:
-        save_database(new_base, save_prefix)
-    db.swap_base(new_base, folded_bytes=folded_bytes)
+        new_epoch = getattr(db, "base_epoch", 0) + 1
+        new_base.wal_epoch = new_epoch
+        save_database(new_base, save_prefix, wal_epoch=new_epoch)
+    db.swap_base(new_base, folded_bytes=folded_bytes,
+                 new_epoch=new_epoch)
     return CompactionReport(
         folded_bytes=folded_bytes,
         folded_batches=folded_batches,

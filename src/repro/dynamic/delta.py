@@ -19,14 +19,20 @@ minus tombstones plus delta entries — so the engine and every kernel
 see the up-to-date adjacency with zero code changes.  Merged pages are
 cached per PID and invalidated when a batch touches their vertices (the
 "cache invalidation of updated PIDs" the engine relies on; the GPU-side
-:class:`~repro.core.cache.PageCache` offers the matching
-:meth:`~repro.core.cache.PageCache.invalidate`).
+:class:`~repro.core.cache.PageCache` needs no equivalent because the
+engine builds fresh per-run caches, so no GPU-resident copy survives a
+mutation).
 
 Durability is layered in front: when a :class:`~repro.dynamic.wal.WriteAheadLog`
 is attached, :meth:`DynamicGraphDatabase.apply` appends the batch to the
 log (fsync) *before* mutating the overlays, and
 :func:`open_dynamic_database` replays the log over a freshly loaded base
-on startup — crash recovery is just "load + replay".
+on startup — crash recovery is just "load + replay".  The WAL *epoch*
+(see :mod:`repro.dynamic.wal`) guards the one ordering this cannot
+cover: a crash mid-compaction, after the folded base reached disk but
+before the WAL reset, leaves a log whose batches are already in the
+base pages; :func:`open_dynamic_database` detects the stale epoch and
+discards that log instead of double-applying it.
 """
 
 import dataclasses
@@ -35,7 +41,7 @@ import numpy as np
 
 from repro.dynamic.batch import OP_DELETE, OP_INSERT, OP_VERTICES, UpdateBatch
 from repro.dynamic.wal import WriteAheadLog
-from repro.errors import FormatError, UpdateError
+from repro.errors import FormatError, UpdateError, WALError
 from repro.format.database import GraphDatabase, PageDirectoryEntry
 from repro.format.io import FileBackedDatabase, load_database
 from repro.format.page import LargePage, SmallPage
@@ -72,6 +78,9 @@ class DynamicGraphDatabase(GraphDatabase):
     def __init__(self, base, wal=None, recorder=None):
         self.wal = wal
         self.recorder = recorder
+        #: Epoch of the base pages (see :mod:`repro.dynamic.wal`); a
+        #: durable compaction bumps it in lockstep with the WAL header.
+        self.base_epoch = getattr(base, "wal_epoch", 0)
         # Cumulative counters (survive compaction; feed repro.obs).
         self.applied_batches = 0
         self.inserted_edges = 0
@@ -443,10 +452,16 @@ class DynamicGraphDatabase(GraphDatabase):
         return max(1, min(self.config.max_slot_number, by_bytes))
 
     def _do_add_vertices(self, count, affected):
+        # Accumulate per-vertex state in lists and concatenate once at
+        # the end — per-vertex np.append/RVT rebuilds would make large
+        # vertex batches quadratic.
         pages_added = False
-        first = self.num_vertices
         capacity = self._ext_capacity()
-        for vid in range(first, first + count):
+        new_start_vids = []
+        new_vertex_pages = []
+        vid = self.num_vertices
+        remaining = count
+        while remaining:
             entry = (self.directory[self._open_ext]
                      if self._open_ext is not None else None)
             if entry is None or entry.num_records >= capacity:
@@ -455,19 +470,33 @@ class DynamicGraphDatabase(GraphDatabase):
                     page_id=pid, kind="SP", start_vid=vid,
                     num_records=0, num_edges=0, used_bytes=0))
                 self.pages.append(None)
-                self.rvt = RecordVertexTable(
-                    np.append(self.rvt.start_vids, vid),
-                    np.append(self.rvt.lp_ranges, -1))
+                new_start_vids.append(vid)
                 self._open_ext = pid
                 entry = self.directory[pid]
                 pages_added = True
+            take = min(remaining, capacity - entry.num_records)
             pid = self._open_ext
             self.directory[pid] = dataclasses.replace(
-                entry, num_records=entry.num_records + 1)
-            self.vertex_page = np.append(self.vertex_page, pid)
-            self.num_vertices += 1
-            self.delta_bytes += self.config.slot_entry_bytes
+                entry, num_records=entry.num_records + take)
+            new_vertex_pages.append(
+                np.full(take, pid, dtype=np.int64))
             affected.add(pid)
+            vid += take
+            remaining -= take
+        self.vertex_page = np.concatenate(
+            [self.vertex_page] + new_vertex_pages)
+        if new_start_vids:
+            self.rvt = RecordVertexTable(
+                np.concatenate([
+                    self.rvt.start_vids,
+                    np.asarray(new_start_vids,
+                               dtype=self.rvt.start_vids.dtype)]),
+                np.concatenate([
+                    self.rvt.lp_ranges,
+                    np.full(len(new_start_vids), -1,
+                            dtype=self.rvt.lp_ranges.dtype)]))
+        self.num_vertices += count
+        self.delta_bytes += count * self.config.slot_entry_bytes
         self.out_degrees = np.concatenate(
             [self.out_degrees, np.zeros(count, dtype=np.int64)])
         return pages_added
@@ -514,6 +543,7 @@ class DynamicGraphDatabase(GraphDatabase):
     def dynamic_stats(self):
         """Counter snapshot consumed by ``repro.obs`` and the CLI."""
         return {
+            "base_epoch": self.base_epoch,
             "applied_batches": self.applied_batches,
             "inserted_edges": self.inserted_edges,
             "deleted_edges": self.deleted_edges,
@@ -533,12 +563,16 @@ class DynamicGraphDatabase(GraphDatabase):
     # ------------------------------------------------------------------
     # Base swap (compaction commits through here)
     # ------------------------------------------------------------------
-    def swap_base(self, new_base, folded_bytes=0):
+    def swap_base(self, new_base, folded_bytes=0, new_epoch=None):
         """Replace the base database after compaction folded the deltas.
 
-        Resets every overlay structure, truncates the WAL (its batches
-        are now part of the base), and bumps the topology version so
-        engines re-index their page runs.
+        Resets every overlay structure and bumps the topology version so
+        engines re-index their page runs.  ``new_epoch`` is set only
+        when the folded base was durably saved under the WAL's prefix:
+        then the log is reset (its batches are in the on-disk pages) and
+        stamped with the new epoch.  Without it the WAL is left intact —
+        the on-disk base still predates the deltas, so the log's records
+        remain the only durable copy of the folded batches.
         """
         self._adopt_base(new_base)
         self.pages = [None] * new_base.num_pages
@@ -553,12 +587,15 @@ class DynamicGraphDatabase(GraphDatabase):
         self.compactions += 1
         self.compaction_folded_bytes += folded_bytes
         self.topology_version += 1
-        if self.wal is not None:
-            self.wal.reset()
+        if new_epoch is not None:
+            self.base_epoch = new_epoch
+            if self.wal is not None:
+                self.wal.reset(epoch=new_epoch)
         if self.recorder is not None:
             self.recorder.instant("compaction", "host", "dynamic", 0.0,
                                   folded_bytes=folded_bytes,
-                                  pages=new_base.num_pages)
+                                  pages=new_base.num_pages,
+                                  epoch=self.base_epoch)
 
     # ------------------------------------------------------------------
     # Validation (overrides the base's pages-list walk)
@@ -609,14 +646,29 @@ def open_dynamic_database(prefix, pool_pages=None, fsync=True,
     ``<prefix>.meta.json`` / ``<prefix>.pages`` (lazily when
     ``pool_pages`` is given), the log from ``<prefix>.wal``, and every
     committed batch is re-applied in order — a torn tail from a crash
-    mid-append is detected via checksums and truncated away.
+    mid-append is detected via checksums and truncated away.  A log
+    whose epoch is *behind* the base's is a pre-compaction leftover (the
+    crash hit after the folded base was saved but before the WAL reset);
+    its batches are already in the base pages, so it is discarded
+    instead of replayed.  A log *ahead* of its base cannot arise from
+    any crash ordering and raises :class:`~repro.errors.WALError`.
     """
     if pool_pages is not None:
         base = FileBackedDatabase(prefix, pool_pages=pool_pages)
     else:
         base = load_database(prefix)
-    wal = WriteAheadLog(prefix + ".wal", fsync=fsync, recorder=recorder)
+    base_epoch = getattr(base, "wal_epoch", 0)
+    wal = WriteAheadLog(prefix + ".wal", fsync=fsync, recorder=recorder,
+                        epoch=base_epoch)
     db = DynamicGraphDatabase(base, wal=wal, recorder=recorder)
-    for batch in wal.replay(repair=True):
-        db.apply(batch, log=False)
+    if wal.epoch < base_epoch:
+        wal.reset(epoch=base_epoch)
+    elif wal.epoch > base_epoch:
+        raise WALError(
+            "%s.wal: log epoch %d is ahead of base epoch %d — these "
+            "base files do not match this log (compacted to a "
+            "different prefix?)" % (prefix, wal.epoch, base_epoch))
+    else:
+        for batch in wal.replay(repair=True):
+            db.apply(batch, log=False)
     return db

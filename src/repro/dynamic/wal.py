@@ -9,7 +9,7 @@ committed one.
 On-disk layout::
 
     +----------+------------------------------------------+
-    | header   | b"GTSWAL01"  (8 bytes)                   |
+    | header   | b"GTSWAL02" (8 bytes) | epoch (8 B LE)   |
     +----------+------------------------------------------+
     | record 0 | LEN (4 B LE) | CRC32 (4 B LE) | payload  |
     | record 1 | ...                                      |
@@ -17,6 +17,17 @@ On-disk layout::
 
 ``payload`` is the UTF-8 JSON of ``UpdateBatch.to_dict()`` and ``CRC32``
 is :func:`zlib.crc32` over it.  Append is ``write + flush + fsync``.
+
+``epoch`` pairs the log with the base database it was written against:
+:func:`~repro.format.io.save_database` stamps the same number into the
+base metadata, and compaction bumps it — the new base is saved with the
+bumped epoch *before* the log is reset to match.  A log whose epoch is
+*behind* its base is therefore a stale pre-compaction log (the crash hit
+between the base save and the WAL reset) whose batches are already
+folded into the base pages; :func:`~repro.dynamic.delta.open_dynamic_database`
+discards it instead of replaying, because replay is **not** idempotent
+(re-applied inserts duplicate parallel edges and re-applied deletes of
+folded edges fail validation).
 
 Recovery (:meth:`WriteAheadLog.replay`) reads records until the file
 ends.  A record whose length field, payload, or checksum cannot be read
@@ -35,10 +46,14 @@ import zlib
 from repro.dynamic.batch import UpdateBatch
 from repro.errors import WALError
 
-#: File magic; bump the trailing digits when the record layout changes.
-WAL_MAGIC = b"GTSWAL01"
+#: File magic; bump the trailing digits when the layout changes.
+WAL_MAGIC = b"GTSWAL02"
 
-_HEADER = struct.Struct("<II")  # LEN, CRC32
+_FILE_HEADER = struct.Struct("<8sQ")  # magic, base epoch
+_HEADER = struct.Struct("<II")        # LEN, CRC32
+
+#: Size of the file header (magic + epoch) preceding the records.
+WAL_HEADER_BYTES = _FILE_HEADER.size
 
 #: Refuse absurd record lengths (a corrupt LEN field would otherwise
 #: make replay attempt a multi-gigabyte read).
@@ -50,7 +65,7 @@ class ReplayReport:
 
     def __init__(self):
         self.batches = []
-        self.good_bytes = len(WAL_MAGIC)
+        self.good_bytes = WAL_HEADER_BYTES
         self.torn_bytes = 0
         self.truncated = False
 
@@ -76,9 +91,13 @@ class WriteAheadLog:
         Optional :class:`~repro.obs.events.TraceRecorder`; appends,
         replays and truncations become instants on the ``host``/``wal``
         lane when one is attached.
+    epoch:
+        Epoch stamped into the header when *creating* a fresh log (the
+        base database's ``wal_epoch``); ignored for an existing file,
+        whose header already records the epoch it was written under.
     """
 
-    def __init__(self, path, fsync=True, recorder=None):
+    def __init__(self, path, fsync=True, recorder=None, epoch=0):
         self.path = path
         self.fsync = fsync
         self.recorder = recorder
@@ -87,17 +106,16 @@ class WriteAheadLog:
         self.replays = 0
         self.torn_tail_truncations = 0
         if not os.path.exists(path):
-            with open(path, "wb") as handle:
-                handle.write(WAL_MAGIC)
-                handle.flush()
-                if self.fsync:
-                    os.fsync(handle.fileno())
+            self.epoch = epoch
+            self._write_header(epoch)
         else:
             with open(path, "rb") as handle:
-                magic = handle.read(len(WAL_MAGIC))
-            if magic != WAL_MAGIC:
+                header = handle.read(_FILE_HEADER.size)
+            if (len(header) < _FILE_HEADER.size
+                    or header[:len(WAL_MAGIC)] != WAL_MAGIC):
                 raise WALError("%s: not a GTS WAL (bad magic %r)"
-                               % (path, magic))
+                               % (path, header[:len(WAL_MAGIC)]))
+            self.epoch = _FILE_HEADER.unpack(header)[1]
 
     # ------------------------------------------------------------------
     # Append path
@@ -137,9 +155,10 @@ class WriteAheadLog:
         report = ReplayReport()
         with open(self.path, "rb") as handle:
             data = handle.read()
-        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+        if (len(data) < _FILE_HEADER.size
+                or data[:len(WAL_MAGIC)] != WAL_MAGIC):
             raise WALError("%s: not a GTS WAL" % self.path)
-        offset = len(WAL_MAGIC)
+        offset = _FILE_HEADER.size
         total = len(data)
         while offset < total:
             tail = self._decode_at(data, offset, report)
@@ -199,21 +218,30 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def reset(self):
+    def reset(self, epoch=None):
         """Empty the log (called after compaction folds it into the base).
 
-        Writes a fresh header to a temp file and atomically replaces the
-        log, so a crash during reset leaves either the old or the new log
-        — never a headerless file.
+        ``epoch`` stamps the fresh header (compaction passes the new
+        base's bumped epoch); ``None`` keeps the current one.  The new
+        header goes to a temp file and atomically replaces the log, so a
+        crash during reset leaves either the old or the new log — never
+        a headerless file.
         """
+        if epoch is not None:
+            self.epoch = epoch
+        self._write_header(self.epoch)
+        self._instant("wal_reset", epoch=self.epoch)
+
+    def _write_header(self, epoch):
+        """Atomically (re)write the file as just a header: temp +
+        ``os.replace``, so a crash never leaves a torn header."""
         tmp = self.path + ".tmp"
         with open(tmp, "wb") as handle:
-            handle.write(WAL_MAGIC)
+            handle.write(_FILE_HEADER.pack(WAL_MAGIC, epoch))
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp, self.path)
-        self._instant("wal_reset")
 
     def size_bytes(self):
         """Current on-disk size of the log."""

@@ -21,10 +21,14 @@ Layout on disk::
     <prefix>.wal         dynamic-update write-ahead log (optional; only
                          present once :mod:`repro.dynamic` has mutated
                          the database).  Layout: 8-byte magic
-                         ``GTSWAL01`` then length/CRC32-framed JSON
-                         update batches — see :mod:`repro.dynamic.wal`.
-                         Folded into ``.meta.json``/``.pages`` (and
-                         emptied) by compaction.
+                         ``GTSWAL02`` plus an 8-byte LE *epoch*, then
+                         length/CRC32-framed JSON update batches — see
+                         :mod:`repro.dynamic.wal`.  Folded into
+                         ``.meta.json``/``.pages`` (and emptied) by
+                         compaction, which bumps the epoch recorded in
+                         both files; a log whose epoch is behind its
+                         base is stale (crash mid-compaction) and is
+                         discarded on open, never replayed.
 
 Both base files are written to temporaries and moved into place with
 ``os.replace``, so a crash mid-save leaves the previous pair intact
@@ -47,7 +51,7 @@ from repro.format.rvt import RecordVertexTable
 FORMAT_VERSION = 1
 
 
-def save_database(db, prefix):
+def save_database(db, prefix, wal_epoch=None):
     """Write ``db`` under ``<prefix>.meta.json`` / ``<prefix>.pages``.
 
     Returns the pair of paths written.  The write is atomic per file:
@@ -55,12 +59,19 @@ def save_database(db, prefix):
     ``os.replace``, pages before metadata — a crash can leave a stale
     temp file behind but never a corrupt or mismatched pair (the
     metadata always describes a fully written pages file).
+
+    ``wal_epoch`` pairs the base with its ``<prefix>.wal`` (see the
+    layout note above); ``None`` carries over ``db.wal_epoch`` when the
+    database has one, else 0.  Compaction passes the bumped epoch here.
     """
     meta_path = prefix + ".meta.json"
     pages_path = prefix + ".pages"
     config = db.config
+    if wal_epoch is None:
+        wal_epoch = getattr(db, "wal_epoch", 0)
     metadata = {
         "version": FORMAT_VERSION,
+        "wal_epoch": wal_epoch,
         "name": db.name,
         "num_vertices": db.num_vertices,
         "num_edges": db.num_edges,
@@ -162,6 +173,7 @@ def load_database(prefix):
         vertex_page=np.asarray(metadata["vertex_page"], dtype=np.int64),
         name=metadata["name"],
     )
+    db.wal_epoch = metadata.get("wal_epoch", 0)
     db.validate()
     return db
 
@@ -208,6 +220,7 @@ class FileBackedDatabase(GraphDatabase):
                                    dtype=np.int64),
             name=metadata["name"],
         )
+        self.wal_epoch = metadata.get("wal_epoch", 0)
         self._pages_path = prefix + ".pages"
         expected = len(directory) * config.page_size
         actual = os.path.getsize(self._pages_path)

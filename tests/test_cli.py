@@ -79,6 +79,39 @@ class TestRunCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSavedDatabaseRuns:
+    def _save(self, tmp_path):
+        from repro.format import PageFormatConfig, build_database
+        from repro.format.io import save_database
+        graph = generate_rmat(6, edge_factor=4, seed=3)
+        config = PageFormatConfig(2, 2, 2048)
+        prefix = str(tmp_path / "saved")
+        save_database(build_database(graph, config), prefix)
+        return prefix
+
+    def test_run_on_saved_database(self, tmp_path, capsys):
+        prefix = self._save(tmp_path)
+        assert main(["run", "--db", prefix, "--algorithm", "bfs"]) == 0
+        assert "BFS" in capsys.readouterr().out
+
+    def test_weighted_algorithm_rejects_unweighted_db(self, tmp_path,
+                                                      capsys):
+        """`run --db` must not hand an unweighted topology to a kernel
+        that needs edge weights (adj_weights would be None)."""
+        prefix = self._save(tmp_path)
+        assert main(["run", "--db", prefix, "--algorithm", "sssp"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "weight" in err
+
+    def test_symmetrised_algorithm_warns_on_db(self, tmp_path, capsys):
+        prefix = self._save(tmp_path)
+        assert main(["run", "--db", prefix, "--algorithm", "cc"]) == 0
+        captured = capsys.readouterr()
+        assert "used as-is" in captured.err
+        assert "CC" in captured.out
+
+
 class TestRunArtifacts:
     def test_json_output_mode(self, capsys):
         assert main(["run", "--dataset", "rmat26",

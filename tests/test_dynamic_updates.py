@@ -113,6 +113,23 @@ class TestOverlaySemantics:
         assert 6 in db.effective_neighbors(5)
         db.validate()
 
+    def test_bulk_vertex_add_spans_pages(self, small_config):
+        db = DynamicGraphDatabase(_line_db(small_config))
+        capacity = db._ext_capacity()
+        count = capacity * 3 + 1
+        db.apply(UpdateBatch().add_vertices(count))
+        assert db.num_vertices == 6 + count
+        assert db.num_extension_pages == 4
+        # Every new vertex resolves through vertex_page/RVT.
+        for vid in (6, 6 + capacity, 6 + count - 1):
+            entry = db.directory[db.page_for_vertex(vid)]
+            assert entry.start_vid <= vid < (entry.start_vid
+                                             + entry.num_records)
+        assert len(db.effective_neighbors(6 + count - 1)) == 0
+        db.apply(UpdateBatch().insert_edge(6 + count - 1, 0))
+        assert 0 in db.effective_neighbors(6 + count - 1)
+        db.validate()
+
     def test_edge_to_new_vertex_in_same_batch(self, small_config):
         db = DynamicGraphDatabase(_line_db(small_config))
         # Vertex 6 only exists once the 'v' op in this batch lands; the
@@ -257,6 +274,39 @@ class TestCrashRecovery:
         assert 4 in db3.effective_neighbors(0)
         db3.validate()
 
+    def test_crash_between_base_save_and_wal_reset(self, tmp_path,
+                                                   small_config):
+        """The compacted base reaches disk but the WAL reset does not:
+        the stale log must be discarded, never replayed (its inserts
+        would duplicate and its deletes would fail on the folded base).
+        """
+        prefix = self._saved_prefix(tmp_path, small_config)
+        db = open_dynamic_database(prefix)
+        db.apply(UpdateBatch().insert_edge(0, 3))
+        db.apply(UpdateBatch().delete_edge(0, 1))
+        new_base = build_database(materialise_graph(db), small_config)
+        save_database(new_base, prefix, wal_epoch=db.base_epoch + 1)
+        del db  # crash before wal.reset()
+
+        reopened = open_dynamic_database(prefix)
+        assert list(reopened.effective_neighbors(0)) == [3]
+        assert reopened.num_edges == 5
+        assert reopened.base_epoch == 1
+        reopened.validate()
+        # The discarded log was reset to the base's epoch; new batches
+        # log and replay normally.
+        reopened.apply(UpdateBatch().insert_edge(0, 4))
+        again = open_dynamic_database(prefix)
+        assert 4 in again.effective_neighbors(0)
+        again.validate()
+
+    def test_wal_ahead_of_base_is_rejected(self, tmp_path, small_config):
+        prefix = self._saved_prefix(tmp_path, small_config)
+        WriteAheadLog(prefix + ".wal", epoch=3)
+        from repro.errors import WALError
+        with pytest.raises(WALError, match="ahead of base epoch"):
+            open_dynamic_database(prefix)
+
     def test_atomic_save_leaves_no_temp_files(self, tmp_path, small_config):
         db = _line_db(small_config)
         prefix = str(tmp_path / "atomic")
@@ -303,6 +353,39 @@ class TestCompaction:
         assert reopened.num_delta_pages == 0
         reopened.validate()
 
+    def test_compact_bumps_epoch_in_base_and_wal(self, tmp_path,
+                                                 small_config):
+        db = _line_db(small_config)
+        prefix = str(tmp_path / "epoch")
+        save_database(db, prefix)
+        dyn = open_dynamic_database(prefix)
+        assert dyn.base_epoch == 0
+        dyn.apply(UpdateBatch().insert_edge(0, 3))
+        compact(dyn, save_prefix=prefix)
+        assert dyn.base_epoch == 1
+        assert WriteAheadLog(prefix + ".wal").epoch == 1
+
+        reopened = open_dynamic_database(prefix)
+        assert reopened.base_epoch == 1
+        compact(reopened, save_prefix=prefix)
+        assert open_dynamic_database(prefix).base_epoch == 2
+
+    def test_inmemory_compact_keeps_wal(self, tmp_path, small_config):
+        """Without a save_prefix the on-disk base never changes, so the
+        WAL must keep its records — they are the only durable copy."""
+        db = _line_db(small_config)
+        prefix = str(tmp_path / "mem")
+        save_database(db, prefix)
+        dyn = open_dynamic_database(prefix)
+        dyn.apply(UpdateBatch().insert_edge(0, 3))
+        compact(dyn)  # folds in memory only
+        assert dyn.num_delta_pages == 0
+        assert WriteAheadLog(prefix + ".wal").replay().num_batches == 1
+
+        reopened = open_dynamic_database(prefix)
+        assert 3 in reopened.effective_neighbors(0)
+        reopened.validate()
+
     def test_maybe_compact_threshold(self, small_config):
         db = DynamicGraphDatabase(_line_db(small_config))
         db.apply(UpdateBatch().insert_edge(0, 2))
@@ -335,16 +418,9 @@ class TestObservability:
         assert counts.get("wal_append") == 1
         assert counts.get("delta_apply") == 1
 
-    def test_page_cache_invalidate(self):
-        from repro.core.cache import PageCache
-
-        cache = PageCache(capacity_pages=8)
-        for pid in range(4):
-            cache.admit(pid, ts=float(pid))
-        dropped = cache.invalidate([1, 3, 99])
-        assert dropped == 2
-        assert 1 not in cache
-        assert 0 in cache
+    def test_dynamic_stats_report_epoch(self, small_config):
+        db = DynamicGraphDatabase(_line_db(small_config))
+        assert db.dynamic_stats()["base_epoch"] == 0
 
 
 # ---------------------------------------------------------------------------

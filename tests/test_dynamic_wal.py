@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.dynamic import UpdateBatch, WriteAheadLog, parse_batch_file
-from repro.dynamic.wal import WAL_MAGIC
+from repro.dynamic.wal import WAL_HEADER_BYTES, WAL_MAGIC
 from repro.errors import UpdateError, WALError
 
 
@@ -79,10 +79,19 @@ class TestWriteAheadLog:
         for original, replayed in zip(batches, report):
             assert replayed.ops == original.ops
 
-    def test_creates_file_with_magic(self, tmp_path):
+    def test_creates_file_with_magic_and_epoch(self, tmp_path):
         path = str(tmp_path / "log.wal")
-        WriteAheadLog(path)
-        assert open(path, "rb").read() == WAL_MAGIC
+        WriteAheadLog(path, epoch=7)
+        data = open(path, "rb").read()
+        assert data[:len(WAL_MAGIC)] == WAL_MAGIC
+        assert len(data) == WAL_HEADER_BYTES
+        assert WriteAheadLog(path).epoch == 7
+
+    def test_epoch_param_ignored_for_existing_file(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        WriteAheadLog(path, epoch=3)
+        # Reopening reads the header's epoch, not the constructor's.
+        assert WriteAheadLog(path, epoch=99).epoch == 3
 
     def test_rejects_foreign_file(self, tmp_path):
         path = tmp_path / "other.bin"
@@ -132,7 +141,7 @@ class TestWriteAheadLog:
         # Flip a payload byte of the FIRST record: checksum mismatch
         # with intact data after it is corruption, not a torn tail.
         with open(path, "r+b") as handle:
-            handle.seek(len(WAL_MAGIC) + 8 + 2)
+            handle.seek(WAL_HEADER_BYTES + 8 + 2)
             byte = handle.read(1)
             handle.seek(-1, os.SEEK_CUR)
             handle.write(bytes([byte[0] ^ 0xFF]))
@@ -156,8 +165,19 @@ class TestWriteAheadLog:
         wal = WriteAheadLog(path)
         wal.append(UpdateBatch().insert_edge(0, 1))
         wal.reset()
-        assert os.path.getsize(path) == len(WAL_MAGIC)
+        assert os.path.getsize(path) == WAL_HEADER_BYTES
         assert WriteAheadLog(path).replay().num_batches == 0
+        assert WriteAheadLog(path).epoch == 0
+
+    def test_reset_stamps_new_epoch(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(UpdateBatch().insert_edge(0, 1))
+        wal.reset(epoch=5)
+        assert wal.epoch == 5
+        reopened = WriteAheadLog(path)
+        assert reopened.epoch == 5
+        assert reopened.replay().num_batches == 0
 
     def test_instants_reach_recorder(self, tmp_path):
         from repro.obs import TraceRecorder
