@@ -130,6 +130,13 @@ def build_parser():
         sub.add_argument("--ssds", type=int, default=2)
         sub.add_argument("--micro", choices=("edge", "vertex", "hybrid"),
                          default="edge")
+        sub.add_argument("--execution",
+                         choices=("auto", "paged", "batched"),
+                         default="auto",
+                         help="round execution path: 'batched' forces the "
+                              "vectorized fast path (errors for kernels "
+                              "without one), 'paged' the per-page loop, "
+                              "'auto' picks per kernel")
         sub.add_argument("--no-cache", action="store_true")
         sub.add_argument("--page-size", type=int, default=2 * KB)
         sub.add_argument("--trace-out", default=None, metavar="PATH",
@@ -262,7 +269,8 @@ def _execute_run(args, tracing=False):
                        num_streams=args.streams,
                        micro_technique=args.micro,
                        enable_caching=not args.no_cache,
-                       tracing=tracing)
+                       tracing=tracing,
+                       execution=getattr(args, "execution", "auto"))
     result = engine.run(kernel, dataset_name=name)
     return result, db, machine, kernel
 

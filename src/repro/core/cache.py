@@ -74,6 +74,68 @@ class PageCache:
         self._instant("cache_miss", page_id, ts)
         return False
 
+    def resolve_round(self, page_ids, ts=None, assume_distinct=False):
+        """Replay one round's lookup/admit sequence in bulk.
+
+        Replacement decisions depend only on the probe order and the
+        policy — never on simulated time — so the engine's batched path
+        can resolve a whole round's hits up front and keep the booking
+        loop free of cache bookkeeping.  Returns a per-page hit list;
+        counters and trace instants are identical to interleaved
+        :meth:`lookup` / :meth:`admit` calls.  ``assume_distinct``
+        promises that ``page_ids`` has no duplicates (the engine's
+        rounds are deduped), unlocking the sequential-flooding shortcut.
+        """
+        if (self.recorder is None and self.capacity_pages
+                and self.policy in ("lru", "fifo", "pin")):
+            if (assume_distinct and self.policy != "pin"
+                    and len(page_ids) > self.capacity_pages
+                    and len(self._pages) == self.capacity_pages
+                    and list(self._pages) == page_ids[-self.capacity_pages:]):
+                # Sequential flooding in steady state: a full-scan round
+                # larger than the cache whose tail is exactly the current
+                # resident set (what the previous identical round left
+                # behind).  Every probe misses — each resident page is
+                # evicted before its own probe comes around — and the
+                # final resident set is again the round's tail, i.e. the
+                # OrderedDict ends bit-identical to how it started, so
+                # only the counters need touching.
+                self.misses += len(page_ids)
+                return [False] * len(page_ids)
+            # Inlined lookup+admit for the untraced common policies: same
+            # decisions and counters as the generic loop below, without
+            # two method calls per page.
+            pages = self._pages
+            capacity = self.capacity_pages
+            lru = self.policy == "lru"
+            pin = self.policy == "pin"
+            hits = []
+            hit_count = miss_count = 0
+            for page_id in page_ids:
+                if page_id in pages:
+                    if lru:
+                        pages.move_to_end(page_id)
+                    hit_count += 1
+                    hits.append(True)
+                else:
+                    miss_count += 1
+                    hits.append(False)
+                    if len(pages) >= capacity:
+                        if pin:
+                            continue  # resident set is stable once full
+                        pages.popitem(last=False)
+                    pages[page_id] = False
+            self.hits += hit_count
+            self.misses += miss_count
+            return hits
+        hits = []
+        for page_id in page_ids:
+            hit = self.lookup(page_id, ts=ts)
+            if not hit:
+                self.admit(page_id, ts=ts)
+            hits.append(hit)
+        return hits
+
     def admit(self, page_id, ts=None):
         """Cache a page just streamed in; returns the evicted victim."""
         if self.capacity_pages == 0:

@@ -30,11 +30,16 @@ import numpy as np
 from repro.core.cache import PageCache
 from repro.core.kernels.base import ALL_PAGES, KernelContext
 from repro.core.micro import MicroTechnique
+from repro.core.plan import RoundPlanCache
 from repro.core.result import RoundStats, RunResult
 from repro.core.strategies import make_strategy
 from repro.core.streams import StreamScheduler
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import (CapacityError, ConfigurationError,
+                          SimulationError)
 from repro.hardware.machine import MachineRuntime
+
+#: Valid values of the ``execution`` knob.
+EXECUTION_MODES = ("auto", "paged", "batched")
 
 
 class GTSEngine:
@@ -77,15 +82,28 @@ class GTSEngine:
         resource overlap, accounting, concurrency caps); implies
         ``tracing``.  Raises :class:`~repro.errors.SimulationError` on
         any violation.
+    execution:
+        ``"auto"`` (default) runs the vectorized batched path for
+        kernels that implement :meth:`Kernel.process_batch` and falls
+        back to the per-page loop otherwise; ``"paged"`` forces the
+        legacy per-page loop; ``"batched"`` forces the fast path and
+        raises :class:`~repro.errors.ConfigurationError` for kernels
+        without a batched implementation.  Both paths produce identical
+        algorithm outputs and identical simulated timings — the knob
+        trades host wall-clock only.
     """
 
     def __init__(self, db, machine, strategy="performance", num_streams=16,
                  micro_technique=MicroTechnique.EDGE_CENTRIC,
                  enable_caching=True, cache_bytes=None, cache_policy="lru",
                  mm_buffer_bytes=None, tracing=False,
-                 validate_simulation=False):
+                 validate_simulation=False, execution="auto"):
         if num_streams < 1:
             raise ConfigurationError("need at least one stream")
+        if execution not in EXECUTION_MODES:
+            raise ConfigurationError(
+                "unknown execution mode %r (expected one of %s)"
+                % (execution, ", ".join(EXECUTION_MODES)))
         self.db = db
         self.machine = machine
         self.strategy = make_strategy(strategy)
@@ -97,6 +115,8 @@ class GTSEngine:
         self.mm_buffer_bytes = mm_buffer_bytes
         self.validate_simulation = validate_simulation
         self.tracing = tracing or validate_simulation
+        self.execution = execution
+        self._plan_cache = RoundPlanCache()
         self._lp_runs = self._index_large_page_runs()
         self._db_topology_version = getattr(db, "topology_version", 0)
 
@@ -110,13 +130,17 @@ class GTSEngine:
         large page (slot 0); streaming that vertex requires the whole
         consecutive run, which the RVT's LP_RANGE column delimits.
         """
-        runs = {}
-        lp_ranges = self.db.rvt.lp_ranges
-        for pid in self.db.large_page_ids():
-            first = pid - int(lp_ranges[pid])
-            runs.setdefault(first, []).append(pid)
-        return {first: np.asarray(sorted(pids), dtype=np.int64)
-                for first, pids in runs.items()}
+        lp = np.asarray(self.db.large_page_ids(), dtype=np.int64)
+        if len(lp) == 0:
+            return {}
+        # A run occupies consecutive pids with chunk indexes 0..k, so
+        # ``pid - LP_RANGE(pid)`` is constant across the run, and with
+        # ``lp`` ascending the groups come out already sorted.
+        firsts = lp - self.db.rvt.lp_ranges[lp]
+        uniques, starts = np.unique(firsts, return_index=True)
+        groups = np.split(lp, starts[1:])
+        return {int(first): group
+                for first, group in zip(uniques, groups)}
 
     def _expand_pids(self, pids):
         """Normalise a round's page set: dedupe, expand LP runs, and
@@ -135,6 +159,20 @@ class GTSEngine:
         else:
             large = large_entries
         return small, large
+
+    def _resolve_execution(self, kernel):
+        """Pick the execution path for ``kernel`` under the knob."""
+        supported = kernel.supports_batch()
+        if self.execution == "batched":
+            if not supported:
+                raise ConfigurationError(
+                    "kernel %s does not implement process_batch; use "
+                    "execution='paged' or 'auto' to run it page-by-page"
+                    % kernel.name)
+            return True
+        if self.execution == "paged":
+            return False
+        return supported
 
     def _mm_buffer_capacity(self):
         topology = self.db.topology_bytes()
@@ -198,6 +236,9 @@ class GTSEngine:
             self._db_topology_version = version
         pool_hits_start = getattr(db, "pool_hits", 0)
         pool_misses_start = getattr(db, "pool_misses", 0)
+        scatter_hits_start = getattr(db, "scatter_hits", 0)
+        scatter_misses_start = getattr(db, "scatter_misses", 0)
+        use_batched = self._resolve_execution(kernel)
         topology = db.topology_bytes()
         recorder = None
         if self.tracing:
@@ -222,6 +263,16 @@ class GTSEngine:
         state = kernel.init_state(db)
         ctx = KernelContext(db, self.micro_technique)
 
+        plan_arrays = None
+        copy_bytes_all = None
+        if use_batched:
+            # Built once per topology version (one pass over the pages
+            # plus one global scatter argsort); every later round gathers
+            # flat array views from it.
+            plan_arrays = self._plan_cache.get(db)
+            copy_bytes_all = plan_arrays.copy_bytes(
+                kernel.ra_bytes_per_vertex)
+
         # |G| < MMBuf: load the graph up front (Algorithm 1 lines 9-10).
         preloaded = False
         if topology <= runtime.mm_buffer.capacity_bytes:
@@ -235,6 +286,7 @@ class GTSEngine:
         scheduler = StreamScheduler(runtime)
         total_edges = 0
         fetch_ready = {}
+        full_assignments = None
 
         round_index = 0
         while True:
@@ -252,35 +304,65 @@ class GTSEngine:
             next_pid_chunks = []
             fetch_ready.clear()
             round_start = runtime.now
+            fetch = self._make_fetch(runtime, fetch_ready, round_start,
+                                     stats)
             # SPs first, then LPs (reduces kernel switching, Section 3.2).
-            for pid in np.concatenate([small, large]):
-                pid = int(pid)
-                page = db.page(pid)
-                work = kernel.process_page(page, state, ctx)
-                stats.pages_dispatched += 1
-                stats.edges_traversed += work.edges_traversed
-                stats.active_vertices += work.active_vertices
-                total_edges += work.edges_traversed
+            if use_batched:
+                pids_round = np.concatenate([small, large])
+                batch = plan_arrays.round_batch(pids_round)
+                work = kernel.process_batch(batch, state, ctx)
+                stats.pages_dispatched += batch.num_pages
+                round_edges = int(work.edges_traversed.sum())
+                stats.edges_traversed += round_edges
+                stats.active_vertices += int(work.active_vertices.sum())
+                total_edges += round_edges
                 if work.next_pids is not None and len(work.next_pids):
                     next_pid_chunks.append(work.next_pids)
-                ra_bytes = db.ra_subvector_bytes(
-                    pid, kernel.ra_bytes_per_vertex)
-                for g in self.strategy.assign(pid, runtime.num_gpus):
-                    earliest = max(round_start, wa_ready[g])
-                    if caches[g].lookup(pid, ts=earliest):
-                        stats.pages_from_cache += 1
-                        scheduler.dispatch_cached(
-                            g, earliest,
-                            work.lane_steps, kernel.cycles_per_lane_step)
-                    else:
-                        ready = self._fetch(runtime, fetch_ready, pid,
-                                            round_start, stats)
-                        copy_bytes = db.page_bytes(pid) + ra_bytes
-                        stats.bytes_streamed += copy_bytes
-                        scheduler.dispatch_streamed(
-                            g, max(ready, wa_ready[g]), copy_bytes,
-                            work.lane_steps, kernel.cycles_per_lane_step)
-                        caches[g].admit(pid, ts=earliest)
+                if len(pids_round) == plan_arrays.num_pages:
+                    # Full-scan rounds dispatch the same SP-first page
+                    # sequence every time; compute its assignment once.
+                    if full_assignments is None:
+                        full_assignments = self.strategy.assign_batch(
+                            pids_round, runtime.num_gpus)
+                    assignments = full_assignments
+                else:
+                    assignments = self.strategy.assign_batch(
+                        pids_round, runtime.num_gpus)
+                scheduler.dispatch_round(
+                    pids_round, assignments,
+                    copy_bytes_all[pids_round], work.lane_steps,
+                    kernel.cycles_per_lane_step, caches, wa_ready,
+                    round_start, fetch, stats)
+            else:
+                for pid in np.concatenate([small, large]):
+                    pid = int(pid)
+                    page = db.page(pid)
+                    work = kernel.process_page(page, state, ctx)
+                    stats.pages_dispatched += 1
+                    stats.edges_traversed += work.edges_traversed
+                    stats.active_vertices += work.active_vertices
+                    total_edges += work.edges_traversed
+                    if work.next_pids is not None and len(work.next_pids):
+                        next_pid_chunks.append(work.next_pids)
+                    ra_bytes = db.ra_subvector_bytes(
+                        pid, kernel.ra_bytes_per_vertex)
+                    for g in self.strategy.assign(pid, runtime.num_gpus):
+                        earliest = max(round_start, wa_ready[g])
+                        if caches[g].lookup(pid, ts=earliest):
+                            stats.pages_from_cache += 1
+                            scheduler.dispatch_cached(
+                                g, earliest,
+                                work.lane_steps,
+                                kernel.cycles_per_lane_step)
+                        else:
+                            ready = fetch(pid)
+                            copy_bytes = db.page_bytes(pid) + ra_bytes
+                            stats.bytes_streamed += copy_bytes
+                            scheduler.dispatch_streamed(
+                                g, max(ready, wa_ready[g]), copy_bytes,
+                                work.lane_steps,
+                                kernel.cycles_per_lane_step)
+                            caches[g].admit(pid, ts=earliest)
 
             # Lines 27-30: barrier, WA sync, nextPIDSet merge.
             barrier = max(gpu.done_at() for gpu in runtime.gpus)
@@ -338,6 +420,10 @@ class GTSEngine:
             mm_buffer_misses=runtime.mm_buffer.misses,
             pool_hits=getattr(db, "pool_hits", 0) - pool_hits_start,
             pool_misses=getattr(db, "pool_misses", 0) - pool_misses_start,
+            scatter_hits=getattr(db, "scatter_hits", 0)
+            - scatter_hits_start,
+            scatter_misses=getattr(db, "scatter_misses", 0)
+            - scatter_misses_start,
             transfer_busy_seconds=sum(
                 g.copy_engine.busy_time for g in runtime.gpus),
             kernel_busy_seconds=sum(
@@ -351,6 +437,7 @@ class GTSEngine:
             num_streams=self.num_streams,
             strategy=self.strategy.name,
             cache_policy=self.cache_policy,
+            execution="batched" if use_batched else "paged",
             notes="preloaded" if preloaded else "cold storage",
             timeline=timeline,
             trace=recorder,
@@ -375,3 +462,135 @@ class GTSEngine:
             runtime.mm_buffer.admit(pid)
         fetch_ready[pid] = ready
         return ready
+
+    def _make_fetch(self, runtime, fetch_ready, round_start, stats):
+        """Build one round's ``fetch(pid) -> ready time`` closure.
+
+        Untraced runs with the default pinned MM buffer get an inlined
+        variant of :meth:`_fetch` — the same lookups, channel bookings
+        and counters without the per-page method-call chain, so a round
+        that misses the buffer thousands of times does not pay Python
+        dispatch for every miss.  Traced or LRU-buffered runs (and
+        machines without storage) use the generic method.
+        """
+        if (runtime.recorder is not None or runtime.storage is None
+                or runtime.mm_buffer.policy != "pin"):
+            return lambda pid: self._fetch(runtime, fetch_ready, pid,
+                                           round_start, stats)
+        mm_buffer = runtime.mm_buffer
+        mm_pages = mm_buffer._pages
+        mm_capacity = mm_buffer.capacity_pages
+        storage = runtime.storage
+        hash_function = storage._hash
+        default_striping = getattr(storage, "default_striping", False)
+        specs = storage.specs
+        channels = storage.channels
+        num_devices = len(specs)
+        page_bytes = self.db.page_bytes
+        read_times = {}
+
+        def fetch(pid):
+            ready = fetch_ready.get(pid)
+            if ready is not None:
+                return ready
+            if pid in mm_pages:
+                mm_buffer.hits += 1
+                stats.pages_from_buffer += 1
+                ready = round_start
+            else:
+                mm_buffer.misses += 1
+                stats.pages_from_storage += 1
+                if default_striping:
+                    device = pid % num_devices
+                else:
+                    device = hash_function(pid)
+                    if device < 0 or device >= num_devices:
+                        raise SimulationError(
+                            "hash function returned bad device index")
+                num_bytes = page_bytes(pid)
+                key = (device, num_bytes)
+                duration = read_times.get(key)
+                if duration is None:
+                    duration = specs[device].read_time(num_bytes)
+                    read_times[key] = duration
+                channel = channels[device]
+                available = channel.available_at
+                start = (round_start if round_start > available
+                         else available)
+                ready = start + duration
+                channel.available_at = ready
+                channel.busy_time += duration
+                channel.num_activities += 1
+                storage.bytes_read += num_bytes
+                storage.pages_fetched += 1
+                # MM-buffer admit, pin policy: pages past capacity pass
+                # through unbuffered.
+                if mm_capacity and len(mm_pages) < mm_capacity:
+                    mm_pages[pid] = None
+            fetch_ready[pid] = ready
+            return ready
+
+        num_bytes = page_bytes()  # all pages are fixed-size
+        durations = [spec.read_time(num_bytes) for spec in specs]
+        num_db_pages = self.db.num_pages
+
+        def bulk_ready(miss_pids):
+            """Vectorized replay of ``fetch`` over one round's first-miss
+            pages, given in page (dispatch) order.
+
+            Returns their ready times as a float64 array, or ``None``
+            when the closed form doesn't apply.  It applies when the
+            pinned buffer is in steady state (at capacity, so admits are
+            no-ops and the resident set is frozen) and pages stripe with
+            the default mod function: each channel then books its misses
+            back to back, ``end_i = max(seed, end_{i-1}) + duration``
+            with a constant duration, which ``np.add.accumulate``
+            reproduces with the exact floating-point fold of the
+            per-call loop.
+            """
+            if not default_striping:
+                return None
+            if mm_capacity and len(mm_pages) < mm_capacity:
+                return None  # still filling: admits would shift residency
+            miss_pids = np.asarray(miss_pids, dtype=np.int64)
+            resident = np.zeros(num_db_pages, dtype=bool)
+            if mm_pages:
+                resident[np.fromiter(mm_pages, dtype=np.int64,
+                                     count=len(mm_pages))] = True
+            in_buffer = resident[miss_pids]
+            storage_pids = miss_pids[~in_buffer]
+            buffered = len(miss_pids) - len(storage_pids)
+            mm_buffer.hits += buffered
+            mm_buffer.misses += len(storage_pids)
+            stats.pages_from_buffer += buffered
+            stats.pages_from_storage += len(storage_pids)
+            ready = np.full(len(miss_pids), round_start, dtype=np.float64)
+            if len(storage_pids):
+                devices = storage_pids % num_devices
+                ends_all = np.empty(len(storage_pids), dtype=np.float64)
+                for device in range(num_devices):
+                    selected = devices == device
+                    count = int(selected.sum())
+                    if not count:
+                        continue
+                    channel = channels[device]
+                    duration = durations[device]
+                    available = channel.available_at
+                    chain = np.full(count + 1, duration, dtype=np.float64)
+                    chain[0] = (round_start if round_start > available
+                                else available)
+                    ends = np.add.accumulate(chain)[1:]
+                    ends_all[selected] = ends
+                    channel.available_at = float(ends[-1])
+                    chain[0] = channel.busy_time
+                    channel.busy_time = float(
+                        np.add.accumulate(chain)[-1])
+                    channel.num_activities += count
+                storage.bytes_read += num_bytes * len(storage_pids)
+                storage.pages_fetched += len(storage_pids)
+                ready[~in_buffer] = ends_all
+            fetch_ready.update(zip(miss_pids.tolist(), ready.tolist()))
+            return ready
+
+        fetch.bulk_ready = bulk_ready
+        return fetch

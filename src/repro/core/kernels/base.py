@@ -27,8 +27,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.micro import MicroTechnique, lane_steps
-from repro.format.page import PageKind
+from repro.core.micro import MicroTechnique, lane_steps, segment_lane_steps
+from repro.format.page import PageKind, sorted_scatter_index
 
 #: Sentinel round plan meaning "stream every page" (Algorithm 1's
 #: ``ALL_PAGES`` constant for PageRank-like algorithms).
@@ -57,6 +57,27 @@ class PageWork:
     next_pids: Optional[np.ndarray] = None
 
 
+@dataclasses.dataclass
+class BatchWork:
+    """Work accounting for a whole round processed as one batch.
+
+    The per-page arrays are aligned with the :class:`RoundBatch`'s page
+    order, so the engine books streams and updates :class:`RoundStats`
+    with exactly the numbers the per-page path would have produced.
+    """
+
+    #: Per-page lane-steps (float64, bit-identical to the per-page
+    #: :func:`repro.core.micro.lane_steps` values).
+    lane_steps: np.ndarray
+    #: Per-page edges traversed this round (int64).
+    edges_traversed: np.ndarray
+    #: Per-page active record counts (int64).
+    active_vertices: np.ndarray
+    #: Sorted unique page IDs discovered for the next round, or None for
+    #: full-scan kernels.
+    next_pids: Optional[np.ndarray] = None
+
+
 class KernelContext:
     """Engine-provided context handed to every page-kernel invocation."""
 
@@ -67,6 +88,29 @@ class KernelContext:
     def lane_steps(self, degrees, active_mask=None):
         """Lane-steps for a page under the configured micro technique."""
         return lane_steps(self.micro_technique, degrees, active_mask)
+
+    def segment_lane_steps(self, batch, active_mask=None):
+        """Per-page lane-steps for a whole :class:`RoundBatch`.
+
+        Full-scan rounds (no active mask) memoise the result on the
+        batch per technique: lane-steps depend only on the batch's
+        immutable degrees and record layout, so PageRank/WCC-style
+        kernels recompute them zero times after the first round.
+        """
+        if active_mask is None:
+            memo = getattr(batch, "_lane_steps_memo", None)
+            if memo is None:
+                memo = {}
+                batch._lane_steps_memo = memo
+            steps = memo.get(self.micro_technique)
+            if steps is None:
+                steps = segment_lane_steps(
+                    self.micro_technique, batch.degrees, batch.rec_indptr)
+                memo[self.micro_technique] = steps
+            return steps
+        return segment_lane_steps(
+            self.micro_technique, batch.degrees, batch.rec_indptr,
+            active_mask)
 
 
 class Kernel:
@@ -123,6 +167,28 @@ class Kernel:
         return self.process_lp(page, state, ctx)
 
     # ------------------------------------------------------------------
+    # Batched execution (vectorized fast path)
+    # ------------------------------------------------------------------
+    def process_batch(self, batch, state, ctx):
+        """Process a whole round's :class:`~repro.core.plan.RoundBatch`
+        in one shot; returns :class:`BatchWork`.
+
+        Implementations must be *bit-identical* to running
+        :meth:`process_page` over the batch's pages in order — same
+        state updates, same per-page lane-steps — so the engine can pick
+        either path without changing results or simulated timing.  The
+        base class leaves it unimplemented; the engine falls back to the
+        per-page loop for kernels that don't override it.
+        """
+        raise NotImplementedError(
+            "%s does not implement process_batch" % type(self).__name__)
+
+    @classmethod
+    def supports_batch(cls):
+        """Whether this kernel overrides :meth:`process_batch`."""
+        return cls.process_batch is not Kernel.process_batch
+
+    # ------------------------------------------------------------------
     # Memory accounting (drives WABuf sizing and O.O.M. behaviour)
     # ------------------------------------------------------------------
     def wa_bytes(self, num_vertices):
@@ -166,45 +232,41 @@ def edge_expand(page, active_mask):
     return page.adj_vids, page.adj_pids, weights, sources_idx
 
 
-def page_scatter_index(page):
-    """Precompute (and cache on the page) a sorted-scatter index.
+def page_scatter_index(page, db=None):
+    """Fetch (or compute) a page's sorted-scatter index.
 
-    Full-scan kernels add a per-edge contribution into a WA vector
-    indexed by target VID.  Doing that with ``np.add.at`` is slow, so we
-    sort the page's target VIDs once and use ``np.add.reduceat`` per
-    round: returns ``(order, unique_targets, segment_starts)``.
+    When ``db`` offers a database-level cache (``db.scatter_index``), the
+    index is keyed by ``(page_id, topology_version)`` there, so it
+    survives :class:`~repro.format.io.FileBackedDatabase` pool evictions
+    — the page *object* may be re-parsed from bytes, but the argsort is
+    not redone.  Without a database the index is cached on the page
+    object as before (``page._scatter_index``).
+    Returns ``(order, unique_targets, segment_starts)``.
     """
+    if db is not None:
+        db_index = getattr(db, "scatter_index", None)
+        if db_index is not None:
+            return db_index(page)
     cached = getattr(page, "_scatter_index", None)
     if cached is not None:
         return cached
-    order = np.argsort(page.adj_vids, kind="stable")
-    sorted_targets = page.adj_vids[order]
-    if len(sorted_targets):
-        boundaries = np.flatnonzero(
-            np.diff(sorted_targets) != 0) + 1
-        segment_starts = np.concatenate(
-            [np.zeros(1, dtype=np.int64), boundaries])
-        unique_targets = sorted_targets[segment_starts]
-    else:
-        segment_starts = np.zeros(0, dtype=np.int64)
-        unique_targets = np.zeros(0, dtype=np.int64)
-    cached = (order, unique_targets, segment_starts)
+    cached = sorted_scatter_index(page.adj_vids)
     page._scatter_index = cached
     return cached
 
 
-def scatter_add(target_vector, page, per_edge_values):
+def scatter_add(target_vector, page, per_edge_values, db=None):
     """Add per-edge contributions into ``target_vector`` (atomicAdd)."""
-    order, unique_targets, starts = page_scatter_index(page)
+    order, unique_targets, starts = page_scatter_index(page, db)
     if len(unique_targets) == 0:
         return
     sums = np.add.reduceat(per_edge_values[order], starts)
     target_vector[unique_targets] += sums
 
 
-def scatter_min(target_vector, page, per_edge_values):
+def scatter_min(target_vector, page, per_edge_values, db=None):
     """Min-combine per-edge contributions into ``target_vector``."""
-    order, unique_targets, starts = page_scatter_index(page)
+    order, unique_targets, starts = page_scatter_index(page, db)
     if len(unique_targets) == 0:
         return
     mins = np.minimum.reduceat(per_edge_values[order], starts)

@@ -55,7 +55,7 @@ class DegreeKernel(Kernel):
         degrees = page.degrees()
         state.out_degree[page.vids()] += degrees
         scatter_add(state._in_degree_float, page,
-                    np.ones(page.num_edges))
+                    np.ones(page.num_edges), db=ctx.db)
         return PageWork(
             num_records=page.num_records,
             active_vertices=page.num_records,
@@ -66,7 +66,7 @@ class DegreeKernel(Kernel):
     def process_lp(self, page, state, ctx):
         state.out_degree[page.vid] += page.num_edges
         scatter_add(state._in_degree_float, page,
-                    np.ones(page.num_edges))
+                    np.ones(page.num_edges), db=ctx.db)
         return PageWork(
             num_records=1,
             active_vertices=1,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.kernels.base import (
     ALL_PAGES,
+    BatchWork,
     Kernel,
     PageWork,
     RoundPlan,
@@ -101,7 +102,7 @@ class PageRankKernel(Kernel):
             state.damping * state.prev[vids] / np.maximum(degrees, 1),
             0.0)
         per_edge = np.repeat(contrib, degrees)
-        scatter_add(state.next, page, per_edge)
+        scatter_add(state.next, page, per_edge, db=ctx.db)
         return PageWork(
             num_records=page.num_records,
             active_vertices=page.num_records,
@@ -114,10 +115,35 @@ class PageRankKernel(Kernel):
         contrib = state.damping * state.prev[page.vid] / max(
             page.total_degree, 1)
         per_edge = np.full(page.num_edges, contrib)
-        scatter_add(state.next, page, per_edge)
+        scatter_add(state.next, page, per_edge, db=ctx.db)
         return PageWork(
             num_records=1,
             active_vertices=1,
             edges_traversed=page.num_edges,
             lane_steps=ctx.lane_steps(page.degrees()),
+        )
+
+    def process_batch(self, batch, state, ctx):
+        # ``rec_divisor`` is the record's degree for SP vertices and the
+        # vertex's total degree for LP chunks, so one expression covers
+        # both of the per-page kernels above.
+        contrib = np.where(
+            batch.rec_divisor > 0,
+            state.damping * state.prev[batch.rec_vids]
+            / np.maximum(batch.rec_divisor, 1),
+            0.0)
+        if batch.num_segments:
+            # ``contrib[scatter_rec]`` is ``contrib[edge_rec]`` permuted
+            # into scatter order, gathered in one pass.
+            sums = np.add.reduceat(
+                contrib[batch.scatter_rec()], batch.seg_starts)
+            # ``np.add.at`` applies updates sequentially in argument
+            # order; segments are page-major with unique targets inside
+            # a page, so the accumulation order — and therefore every
+            # float rounding step — matches the per-page loop exactly.
+            np.add.at(state.next, batch.seg_targets, sums)
+        return BatchWork(
+            lane_steps=ctx.segment_lane_steps(batch),
+            edges_traversed=batch.edges_per_page(),
+            active_vertices=batch.records_per_page(),
         )

@@ -117,9 +117,9 @@ class RadiusKernel(Kernel):
         }
 
     # ------------------------------------------------------------------
-    def _propagate(self, page, state, source_rows):
+    def _propagate(self, page, state, source_rows, db=None):
         """OR each edge's source sketches into its target's sketches."""
-        order, unique_targets, starts = _page_or_index(page)
+        order, unique_targets, starts = _page_or_index(page, db)
         if len(unique_targets) == 0:
             return
         per_edge = state.prev[source_rows][order]
@@ -129,7 +129,7 @@ class RadiusKernel(Kernel):
     def process_sp(self, page, state, ctx):
         degrees = page.degrees()
         source_rows = np.repeat(page.vids(), degrees)
-        self._propagate(page, state, source_rows)
+        self._propagate(page, state, source_rows, db=ctx.db)
         return PageWork(
             num_records=page.num_records,
             active_vertices=page.num_records,
@@ -139,7 +139,7 @@ class RadiusKernel(Kernel):
 
     def process_lp(self, page, state, ctx):
         source_rows = np.full(page.num_edges, page.vid, dtype=np.int64)
-        self._propagate(page, state, source_rows)
+        self._propagate(page, state, source_rows, db=ctx.db)
         return PageWork(
             num_records=1,
             active_vertices=1,
@@ -148,7 +148,7 @@ class RadiusKernel(Kernel):
         )
 
 
-def _page_or_index(page):
+def _page_or_index(page, db=None):
     """Reuse the cached sorted-scatter index from the base helpers."""
     from repro.core.kernels.base import page_scatter_index
-    return page_scatter_index(page)
+    return page_scatter_index(page, db)

@@ -80,7 +80,8 @@ class RWRKernel(Kernel):
             degrees > 0,
             walk * state.prev[vids] / np.maximum(degrees, 1),
             0.0)
-        scatter_add(state.next, page, np.repeat(contrib, degrees))
+        scatter_add(state.next, page, np.repeat(contrib, degrees),
+                    db=ctx.db)
         return PageWork(
             num_records=page.num_records,
             active_vertices=page.num_records,
@@ -91,7 +92,8 @@ class RWRKernel(Kernel):
     def process_lp(self, page, state, ctx):
         contrib = ((1.0 - state.restart) * state.prev[page.vid]
                    / max(page.total_degree, 1))
-        scatter_add(state.next, page, np.full(page.num_edges, contrib))
+        scatter_add(state.next, page, np.full(page.num_edges, contrib),
+                    db=ctx.db)
         return PageWork(
             num_records=1,
             active_vertices=1,

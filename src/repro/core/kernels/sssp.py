@@ -15,7 +15,13 @@ databases fall back to unit weights, making SSSP coincide with BFS depth.
 
 import numpy as np
 
-from repro.core.kernels.base import Kernel, PageWork, RoundPlan, edge_expand
+from repro.core.kernels.base import (
+    BatchWork,
+    Kernel,
+    PageWork,
+    RoundPlan,
+    edge_expand,
+)
 from repro.errors import ConfigurationError
 
 INFINITY = np.float32(np.inf)
@@ -121,3 +127,29 @@ class SSSPKernel(Kernel):
         source_dists = np.asarray([state.dist_prev[page.vid]],
                                   dtype=np.float32)
         return self._relax(page, state, ctx, active, source_dists)
+
+    def process_batch(self, batch, state, ctx):
+        active = state.frontier[batch.rec_vids]
+        edge_active = active[batch.edge_rec]
+        sources = batch.rec_vids[batch.edge_rec[edge_active]]
+        targets = batch.adj_vids[edge_active]
+        if batch.adj_weights is not None:
+            weights = batch.adj_weights[edge_active]
+        else:
+            weights = np.ones(len(targets), dtype=np.float32)
+        candidates = state.dist_prev[sources] + weights
+        # "Better" against the round-start distances.  The per-page loop
+        # compares against the live vector, so it may skip candidates a
+        # previous page already beat — but the min-combine makes the
+        # final distances identical, and a beaten candidate's page is
+        # added to the union by whichever page beat it (same target,
+        # same physical page), so next_pids match too.
+        better = candidates < state.dist[targets]
+        np.minimum.at(state.dist, targets[better], candidates[better])
+        next_pids = np.unique(batch.adj_pids[edge_active][better])
+        return BatchWork(
+            lane_steps=ctx.segment_lane_steps(batch, active),
+            edges_traversed=batch.edge_segment_sum(edge_active),
+            active_vertices=batch.segment_sum(active),
+            next_pids=next_pids,
+        )

@@ -120,3 +120,85 @@ def lane_steps(technique, degrees, active_mask=None):
         edge_centric_lane_steps(active_degrees, len(degrees)),
         vertex_centric_lane_steps(degrees, active_mask),
     )
+
+
+# ----------------------------------------------------------------------
+# Segment-wise variants: many pages at once for the batched fast path.
+#
+# ``rec_indptr`` delimits each page's records inside flat page-major
+# ``degrees`` / ``active_mask`` arrays; each function returns a float64
+# array of per-page lane-steps.  Every quantity involved is an
+# integer-valued float64 (ceil sums, warp maxima), so the vectorized
+# reductions are bit-identical to calling the per-page functions in a
+# loop — that exactness is what lets the batched execution path report
+# the same simulated timings as the paged one.
+# ----------------------------------------------------------------------
+
+def _segment_float_sum(values, indptr):
+    """Per-segment sums with empty segments yielding 0 (raw ``reduceat``
+    would return ``values[start]`` for an empty segment instead)."""
+    counts = np.diff(indptr)
+    out = np.zeros(len(counts), dtype=np.float64)
+    nonempty = counts > 0
+    if len(values) and nonempty.any():
+        out[nonempty] = np.add.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+def segment_edge_centric_lane_steps(degrees, rec_indptr, active_mask=None):
+    """Per-page :func:`edge_centric_lane_steps` over flat record arrays."""
+    degrees = np.asarray(degrees, dtype=np.int64)
+    per_record = np.ceil(degrees / WARP_SIZE)
+    if active_mask is not None:
+        per_record = np.where(
+            np.asarray(active_mask, dtype=bool), per_record, 0.0)
+    expand = _segment_float_sum(per_record, rec_indptr)
+    num_records = np.diff(rec_indptr)
+    scan = np.ceil(num_records / WARP_SIZE)
+    return WARP_SIZE * expand + WARP_SIZE * scan
+
+
+def segment_vertex_centric_lane_steps(degrees, rec_indptr, active_mask=None):
+    """Per-page :func:`vertex_centric_lane_steps` over flat record arrays.
+
+    Warps are formed from 32 consecutive slots *within* a page, so warp
+    boundaries restart at every page's first record — ``maximum.reduceat``
+    at the per-page warp starts reproduces the padded-reshape maxima of
+    the per-page function (zero padding never changes a warp's maximum
+    because every warp's first lane is a real record and the final
+    ``max(•, 1)`` floors empty lanes anyway).
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if active_mask is not None:
+        degrees = np.where(np.asarray(active_mask, dtype=bool), degrees, 0)
+    counts = np.diff(rec_indptr)
+    num_pages = len(counts)
+    warps = (counts + WARP_SIZE - 1) // WARP_SIZE
+    total_warps = int(warps.sum())
+    if total_warps == 0:
+        return np.zeros(num_pages, dtype=np.float64)
+    warp_indptr = np.zeros(num_pages + 1, dtype=np.int64)
+    np.cumsum(warps, out=warp_indptr[1:])
+    # Warp w of page p starts at record rec_indptr[p] + 32 * w.
+    local_warp = (np.arange(total_warps, dtype=np.int64)
+                  - np.repeat(warp_indptr[:-1], warps))
+    warp_starts = np.repeat(rec_indptr[:-1], warps) + WARP_SIZE * local_warp
+    per_warp_max = np.maximum.reduceat(degrees, warp_starts)
+    per_warp_max = np.maximum(per_warp_max, 1)
+    return WARP_SIZE * _segment_float_sum(
+        per_warp_max.astype(np.float64), warp_indptr)
+
+
+def segment_lane_steps(technique, degrees, rec_indptr, active_mask=None):
+    """Per-page :func:`lane_steps` over flat page-major record arrays."""
+    technique = MicroTechnique.parse(technique)
+    if technique is MicroTechnique.EDGE_CENTRIC:
+        return segment_edge_centric_lane_steps(
+            degrees, rec_indptr, active_mask)
+    if technique is MicroTechnique.VERTEX_CENTRIC:
+        return segment_vertex_centric_lane_steps(
+            degrees, rec_indptr, active_mask)
+    return np.minimum(
+        segment_edge_centric_lane_steps(degrees, rec_indptr, active_mask),
+        segment_vertex_centric_lane_steps(degrees, rec_indptr, active_mask),
+    )

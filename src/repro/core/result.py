@@ -57,6 +57,10 @@ class RunResult:
     #: for eager in-memory databases).
     pool_hits: int = 0
     pool_misses: int = 0
+    #: Database-level sorted-scatter index counters (full-scan kernels
+    #: and plan builds; a hit means an argsort was skipped).
+    scatter_hits: int = 0
+    scatter_misses: int = 0
     transfer_busy_seconds: float = 0.0
     kernel_busy_seconds: float = 0.0
     #: Sum of per-stream kernel occupancy (what a Figure 4-style stream
@@ -69,6 +73,8 @@ class RunResult:
     num_streams: int = 1
     strategy: str = ""
     cache_policy: str = "lru"
+    #: Which round-execution path actually ran: "paged" or "batched".
+    execution: str = "paged"
     engine: str = "GTS"
     notes: Optional[str] = None
     #: Figure 4-style ASCII stream timeline (populated when the engine
@@ -163,6 +169,9 @@ class RunResult:
             "pool_hits": self.pool_hits,
             "pool_misses": self.pool_misses,
             "pool_hit_rate": self.pool_hit_rate,
+            "scatter_hits": self.scatter_hits,
+            "scatter_misses": self.scatter_misses,
+            "execution": self.execution,
             "transfer_busy_seconds": self.transfer_busy_seconds,
             "kernel_busy_seconds": self.kernel_busy_seconds,
             "kernel_stream_seconds": self.kernel_stream_seconds,

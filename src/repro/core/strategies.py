@@ -38,6 +38,13 @@ class Strategy:
         ``h(j)``: one index for Strategy-P, all of them for Strategy-S)."""
         raise NotImplementedError
 
+    def assign_batch(self, page_ids, num_gpus):
+        """Per-page GPU assignments for a whole round (a list aligned
+        with ``page_ids``).  The default delegates to :meth:`assign`;
+        the built-in strategies override it with vectorized versions for
+        the engine's batched dispatch path."""
+        return [self.assign(int(pid), num_gpus) for pid in page_ids]
+
     def wa_gpu_bytes(self, wa_total_bytes, num_gpus):
         """WA bytes each GPU must hold resident."""
         raise NotImplementedError
@@ -64,6 +71,9 @@ class PerformanceStrategy(Strategy):
 
     def assign(self, page_id, num_gpus):
         return (page_id % num_gpus,)
+
+    def assign_batch(self, page_ids, num_gpus):
+        return [(int(pid) % num_gpus,) for pid in page_ids]
 
     def wa_gpu_bytes(self, wa_total_bytes, num_gpus):
         return wa_total_bytes
@@ -111,6 +121,10 @@ class ScalabilityStrategy(Strategy):
 
     def assign(self, page_id, num_gpus):
         return tuple(range(num_gpus))
+
+    def assign_batch(self, page_ids, num_gpus):
+        replicate = tuple(range(num_gpus))
+        return [replicate] * len(page_ids)
 
     def wa_gpu_bytes(self, wa_total_bytes, num_gpus):
         return -(-wa_total_bytes // num_gpus)  # ceil division

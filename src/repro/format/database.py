@@ -17,7 +17,7 @@ import dataclasses
 import numpy as np
 
 from repro.errors import FormatError
-from repro.format.page import PageKind
+from repro.format.page import PageKind, sorted_scatter_index
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,6 +57,13 @@ class GraphDatabase:
             [e.page_id for e in directory if e.kind == "SP"], dtype=np.int64)
         self._large_page_ids = np.array(
             [e.page_id for e in directory if e.kind == "LP"], dtype=np.int64)
+        #: Sorted-scatter indexes keyed by ``(page_id, topology_version)``
+        #: so they survive file-pool evictions (a re-parsed page object
+        #: loses its ``_scatter_index`` attribute, but the argsort only
+        #: depends on the topology, not on the page instance).
+        self._scatter_cache = {}
+        self.scatter_hits = 0
+        self.scatter_misses = 0
 
     # ------------------------------------------------------------------
     # Page access
@@ -92,6 +99,24 @@ class GraphDatabase:
     def page_for_vertex(self, vid):
         """Page ID containing ``vid`` — seeds BFS's initial ``nextPIDSet``."""
         return int(self.vertex_page[vid])
+
+    def scatter_index(self, page):
+        """Database-level sorted-scatter index for ``page``.
+
+        Keyed by ``(page_id, topology_version)``: stale entries from
+        before a dynamic-update batch are dropped lazily, and pool
+        evictions in :class:`~repro.format.io.FileBackedDatabase` no
+        longer force an argsort recompute.  ``scatter_hits`` /
+        ``scatter_misses`` feed the engine's per-run counters.
+        """
+        cached = self._scatter_cache.get(page.page_id)
+        if cached is not None and cached[0] == self.topology_version:
+            self.scatter_hits += 1
+            return cached[1]
+        self.scatter_misses += 1
+        index = sorted_scatter_index(page.adj_vids)
+        self._scatter_cache[page.page_id] = (self.topology_version, index)
+        return index
 
     # ------------------------------------------------------------------
     # Storage accounting

@@ -20,6 +20,9 @@ class StorageArray:
         self.specs = list(specs)
         self.channels = [Resource("storage:%s" % spec.name) for spec in specs]
         self._hash = hash_function or (lambda pid: pid % len(self.specs))
+        #: True when pages stripe with the default mod function, letting
+        #: hot paths compute the device index inline.
+        self.default_striping = hash_function is None
         #: Optional TraceRecorder; each fetch becomes an ``ssd_fetch``
         #: interval on the device's lane.
         self.recorder = recorder

@@ -235,6 +235,17 @@ def collect_run_metrics(result, registry=None):
                          "host page-pool misses (file-backed DB)"
                          ).inc(result.pool_misses)
         registry.gauge("pool.hit_rate").set(result.pool_hit_rate)
+    if result.scatter_hits or result.scatter_misses:
+        registry.counter("scatter_index.hits",
+                         "db-level sorted-scatter index hits"
+                         ).inc(result.scatter_hits)
+        registry.counter("scatter_index.misses",
+                         "db-level sorted-scatter index misses "
+                         "(argsort recomputed)"
+                         ).inc(result.scatter_misses)
+        total = result.scatter_hits + result.scatter_misses
+        registry.gauge("scatter_index.hit_rate").set(
+            result.scatter_hits / total)
 
     registry.gauge("pipeline.transfer_busy_seconds").set(
         result.transfer_busy_seconds)

@@ -1,0 +1,152 @@
+"""Property test: batched and paged execution are indistinguishable.
+
+The vectorized fast path is only allowed to change *wall-clock*, never
+behaviour: for any graph, kernel, strategy, and page-serving backend the
+two paths must produce bit-identical algorithm output, simulated time,
+per-round statistics, and cache counters.  Hypothesis drives random
+graphs and configurations through both paths, including a file-backed
+database whose page pool is small enough to force constant eviction.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BFSKernel,
+    GTSEngine,
+    PageRankKernel,
+    SSSPKernel,
+    WCCKernel,
+)
+from repro.format import PageFormatConfig, build_database
+from repro.format.io import FileBackedDatabase, save_database
+from repro.graphgen import Graph
+from repro.hardware.specs import scaled_workstation
+from repro.units import KB
+
+KERNELS = {
+    "pagerank": lambda start: PageRankKernel(iterations=4),
+    "bfs": lambda start: BFSKernel(start_vertex=start),
+    "sssp": lambda start: SSSPKernel(start_vertex=start),
+    "wcc": lambda start: WCCKernel(),
+}
+
+
+def _random_graph(data, weighted):
+    num_vertices = data.draw(st.integers(2, 120))
+    num_edges = data.draw(st.integers(0, 400))
+    seed = data.draw(st.integers(0, 10 ** 6))
+    rng = np.random.default_rng(seed)
+    graph = Graph.from_edges(
+        num_vertices,
+        rng.integers(0, num_vertices, size=num_edges),
+        rng.integers(0, num_vertices, size=num_edges))
+    if weighted:
+        graph = graph.with_random_weights(seed=seed)
+    return graph
+
+
+def _run_pair(db, machine, strategy, kernel_name, start, caching):
+    results = []
+    for execution in ("paged", "batched"):
+        engine = GTSEngine(db, machine, strategy=strategy,
+                           enable_caching=caching, execution=execution)
+        results.append(engine.run(KERNELS[kernel_name](start)))
+    return results
+
+
+def _assert_identical(paged, batched):
+    assert paged.execution == "paged"
+    assert batched.execution == "batched"
+    assert batched.elapsed_seconds == paged.elapsed_seconds
+    assert batched.num_rounds == paged.num_rounds
+    for key in paged.values:
+        np.testing.assert_array_equal(batched.values[key],
+                                      paged.values[key])
+    paged_dict = paged.to_dict()
+    batched_dict = batched.to_dict()
+    for key in ("cache_hits", "cache_misses", "cache_hit_rate",
+                "mm_buffer_hits", "mm_buffer_misses",
+                "storage_bytes_read", "storage_pages_fetched",
+                "pages_streamed", "bytes_to_gpu",
+                "transfer_busy_seconds", "kernel_busy_seconds",
+                "kernel_stream_seconds", "edges_traversed"):
+        assert batched_dict.get(key) == paged_dict.get(key), key
+    for round_paged, round_batched in zip(paged.rounds, batched.rounds):
+        assert (dataclasses.asdict(round_batched)
+                == dataclasses.asdict(round_paged))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_batched_matches_paged_on_random_graphs(data):
+    kernel_name = data.draw(st.sampled_from(sorted(KERNELS)))
+    graph = _random_graph(data, weighted=kernel_name == "sssp")
+    if kernel_name == "wcc":
+        graph = graph.symmetrised()
+    db = build_database(graph, PageFormatConfig(2, 2, 1 * KB))
+    machine = scaled_workstation(
+        num_gpus=data.draw(st.sampled_from([1, 2, 3])),
+        num_ssds=data.draw(st.sampled_from([1, 2])))
+    strategy = data.draw(st.sampled_from(["performance", "scalability"]))
+    caching = data.draw(st.booleans())
+    start = data.draw(st.integers(0, graph.num_vertices - 1))
+    paged, batched = _run_pair(db, machine, strategy, kernel_name, start,
+                               caching)
+    _assert_identical(paged, batched)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_batched_matches_paged_under_pool_eviction(data, tmp_path_factory):
+    """A file-backed page pool too small for the database must not
+    perturb either path: the plan is built from one pass over the pages
+    and the paged path re-reads through the pool, yet both must agree
+    with each other bit for bit."""
+    kernel_name = data.draw(st.sampled_from(sorted(KERNELS)))
+    graph = _random_graph(data, weighted=kernel_name == "sssp")
+    if kernel_name == "wcc":
+        graph = graph.symmetrised()
+    db = build_database(graph, PageFormatConfig(2, 2, 1 * KB))
+    prefix = str(tmp_path_factory.mktemp("pooled") / "db")
+    save_database(db, prefix)
+    pool_pages = max(1, db.num_pages // 4)
+    lazy = FileBackedDatabase(prefix, pool_pages=pool_pages)
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    start = data.draw(st.integers(0, graph.num_vertices - 1))
+    paged, batched = _run_pair(lazy, machine, "performance", kernel_name,
+                               start, True)
+    _assert_identical(paged, batched)
+    assert lazy.resident_pages() <= pool_pages
+
+
+def test_all_four_kernels_support_batch():
+    for name, factory in KERNELS.items():
+        assert factory(0).supports_batch(), name
+
+
+def test_traced_runs_agree_with_untraced():
+    """Tracing disables the inlined booking loops; the simulated clock
+    must not notice."""
+    graph = Graph.from_edges(
+        50,
+        np.random.default_rng(5).integers(0, 50, size=300),
+        np.random.default_rng(6).integers(0, 50, size=300))
+    db = build_database(graph, PageFormatConfig(2, 2, 1 * KB))
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    results = {}
+    for execution in ("paged", "batched"):
+        for tracing in (False, True):
+            engine = GTSEngine(db, machine, tracing=tracing,
+                               execution=execution)
+            results[(execution, tracing)] = engine.run(
+                PageRankKernel(iterations=3))
+    baseline = results[("paged", False)]
+    for key, result in results.items():
+        assert result.elapsed_seconds == baseline.elapsed_seconds, key
+        np.testing.assert_array_equal(result.values["rank"],
+                                      baseline.values["rank"])
+
+

@@ -1,0 +1,265 @@
+"""Unit tests for the vectorized execution plan and its satellites.
+
+Covers the :mod:`repro.core.plan` arrays (global scatter index, batch
+gathering, the topology-version plan cache), the database-level
+scatter-index cache, the steady-state cache shortcut, the vectorized
+large-page-run index, and the ``execution`` knob's error handling on
+engine, CLI, and result-reporting surfaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import DegreeKernel, GTSEngine, PageRankKernel
+from repro.core.cache import PageCache
+from repro.core.plan import (
+    PagePlan,
+    RoundPlanCache,
+    segment_sum,
+    take_ranges,
+)
+from repro.errors import ConfigurationError
+from repro.format import PageFormatConfig, build_database
+from repro.format.io import FileBackedDatabase, save_database
+from repro.format.page import sorted_scatter_index
+from repro.graphgen import generate_rmat
+from repro.graphgen.io import write_edge_list
+from repro.hardware.specs import scaled_workstation
+
+
+@pytest.fixture
+def db():
+    graph = generate_rmat(8, edge_factor=8, seed=11)
+    return build_database(graph, PageFormatConfig(2, 2, 1024))
+
+
+@pytest.fixture
+def machine():
+    return scaled_workstation(num_gpus=2, num_ssds=2)
+
+
+class TestPlanArrays:
+    def test_global_scatter_matches_per_page(self, db):
+        """The combined-key argsort must equal the concatenation of the
+        per-page stable scatter argsorts, bit for bit."""
+        plan = PagePlan(db)
+        for pid in range(db.num_pages):
+            page = db.page(pid)
+            order, targets, starts = sorted_scatter_index(page.adj_vids)
+            lo, hi = plan.edge_indptr[pid], plan.edge_indptr[pid + 1]
+            slo, shi = plan.seg_indptr[pid], plan.seg_indptr[pid + 1]
+            np.testing.assert_array_equal(plan.order_local[lo:hi], order)
+            np.testing.assert_array_equal(
+                plan.seg_starts_local[slo:shi], starts)
+            np.testing.assert_array_equal(
+                plan.seg_targets[slo:shi], targets)
+
+    def test_overflow_fallback_matches_combined_key(self, db):
+        """The per-page fallback (combined key would overflow int64)
+        builds the same arrays as the vectorized path."""
+        fast = PagePlan(db)
+        slow = PagePlan.__new__(PagePlan)
+        slow.__dict__.update(fast.__dict__)
+
+        class HugeV:
+            num_vertices = 1 << 60
+            num_pages = db.num_pages
+
+        slow.num_pages = db.num_pages
+        slow._build_scatter(HugeV)
+        for name in ("order_local", "seg_starts_local", "seg_targets",
+                     "seg_pids", "seg_counts", "seg_indptr"):
+            np.testing.assert_array_equal(getattr(slow, name),
+                                          getattr(fast, name), err_msg=name)
+
+    def test_full_batch_equals_explicit_gather(self, db):
+        """The zero-copy identity batch must agree with a forced gather
+        of every page."""
+        plan = PagePlan(db)
+        identity = plan.full_batch()
+        gathered = plan._gather(identity.pids)
+        for name in ("pids", "rec_indptr", "degrees", "rec_vids",
+                     "rec_divisor", "edge_indptr", "edge_rec", "adj_vids",
+                     "adj_pids", "scatter_order", "seg_starts",
+                     "seg_targets", "seg_pids", "seg_indptr"):
+            np.testing.assert_array_equal(getattr(identity, name),
+                                          getattr(gathered, name),
+                                          err_msg=name)
+
+    def test_round_batch_subset(self, db):
+        plan = PagePlan(db)
+        pids = np.asarray([0, 2, 3], dtype=np.int64)
+        batch = plan.round_batch(pids)
+        assert batch.num_pages == 3
+        offset = 0
+        for k, pid in enumerate(pids):
+            page = db.page(int(pid))
+            lo, hi = batch.rec_indptr[k], batch.rec_indptr[k + 1]
+            np.testing.assert_array_equal(batch.rec_vids[lo:hi],
+                                          page.vids())
+            np.testing.assert_array_equal(batch.degrees[lo:hi],
+                                          page.degrees())
+            elo, ehi = batch.edge_indptr[k], batch.edge_indptr[k + 1]
+            np.testing.assert_array_equal(batch.adj_vids[elo:ehi],
+                                          page.adj_vids)
+            offset += page.num_records
+        assert batch.num_records == offset
+
+    def test_take_ranges_and_segment_sum(self):
+        np.testing.assert_array_equal(
+            take_ranges([5, 0], [3, 2]), [5, 6, 7, 0, 1])
+        assert len(take_ranges([], [])) == 0
+        np.testing.assert_array_equal(
+            segment_sum(np.asarray([1, 2, 3, 4]),
+                        np.asarray([0, 2, 2, 4])),
+            [3, 0, 7])
+
+    def test_copy_bytes_cached_per_ra_width(self, db):
+        plan = PagePlan(db)
+        first = plan.copy_bytes(4)
+        assert plan.copy_bytes(4) is first
+        expected = np.asarray([db.page_bytes(pid) +
+                               db.ra_subvector_bytes(pid, 4)
+                               for pid in range(db.num_pages)])
+        np.testing.assert_array_equal(first, expected)
+
+
+class TestRoundPlanCache:
+    def test_rebuilds_on_topology_version_bump(self, db):
+        cache = RoundPlanCache()
+        first = cache.get(db)
+        assert cache.get(db) is first
+        assert (cache.builds, cache.hits) == (1, 1)
+        db.topology_version += 1
+        second = cache.get(db)
+        assert second is not first
+        assert second.topology_version == db.topology_version
+        assert cache.builds == 2
+
+    def test_invalidate_forces_rebuild(self, db):
+        cache = RoundPlanCache()
+        first = cache.get(db)
+        cache.invalidate()
+        assert cache.get(db) is not first
+
+
+class TestScatterIndexCache:
+    def test_survives_pool_eviction(self, db, tmp_path):
+        """The DB-level scatter cache is keyed by page ID, not by the
+        served page object, so pool evictions must not cost recomputes."""
+        prefix = str(tmp_path / "db")
+        save_database(db, prefix)
+        lazy = FileBackedDatabase(prefix, pool_pages=2)
+        for _ in range(3):
+            for pid in range(lazy.num_pages):
+                lazy.scatter_index(lazy.page(pid))
+        assert lazy.scatter_misses == lazy.num_pages
+        assert lazy.scatter_hits == 2 * lazy.num_pages
+        assert lazy.resident_pages() <= 2
+
+    def test_invalidated_by_topology_version(self, db):
+        page = db.page(0)
+        db.scatter_index(page)
+        hits = db.scatter_hits
+        db.topology_version += 1
+        db.scatter_index(db.page(0))
+        assert db.scatter_hits == hits
+        assert db.scatter_misses >= 2
+
+
+class TestCacheSteadyStateShortcut:
+    def _replay(self, policy, rounds, capacity=4, shortcut=False):
+        cache = PageCache(capacity, policy=policy)
+        results = []
+        for pids in rounds:
+            results.append(
+                cache.resolve_round(list(pids), assume_distinct=shortcut))
+        return cache, results
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_matches_generic_replay(self, policy):
+        rounds = [list(range(10))] * 4 + [list(range(3, 13))]
+        slow_cache, slow = self._replay(policy, rounds, shortcut=False)
+        fast_cache, fast = self._replay(policy, rounds, shortcut=True)
+        assert slow == fast
+        assert slow_cache.hits == fast_cache.hits
+        assert slow_cache.misses == fast_cache.misses
+        assert list(slow_cache._pages) == list(fast_cache._pages)
+
+    def test_not_taken_when_round_fits(self):
+        cache = PageCache(16, policy="lru")
+        first = cache.resolve_round(list(range(8)), assume_distinct=True)
+        second = cache.resolve_round(list(range(8)), assume_distinct=True)
+        assert first == [False] * 8
+        assert second == [True] * 8
+
+
+class TestLargePageRunIndex:
+    def test_matches_bruteforce(self, machine):
+        # Heavy-tailed RMAT with a small page size yields many LP runs.
+        graph = generate_rmat(9, edge_factor=12, seed=4)
+        db = build_database(graph, PageFormatConfig(2, 2, 512))
+        engine = GTSEngine(db, machine)
+        lp = np.asarray(db.large_page_ids(), dtype=np.int64)
+        assert len(lp) > 0
+        expected = {}
+        for pid in lp.tolist():
+            first = pid - int(db.rvt.lp_ranges[pid])
+            expected.setdefault(first, []).append(pid)
+        assert set(engine._lp_runs) == set(expected)
+        for first, run in expected.items():
+            np.testing.assert_array_equal(engine._lp_runs[first], run)
+
+
+class TestExecutionKnob:
+    def test_batched_rejected_for_batchless_kernel(self, db, machine):
+        engine = GTSEngine(db, machine, execution="batched")
+        with pytest.raises(ConfigurationError):
+            engine.run(DegreeKernel())
+
+    def test_auto_falls_back_for_batchless_kernel(self, db, machine):
+        result = GTSEngine(db, machine).run(DegreeKernel())
+        assert result.execution == "paged"
+
+    def test_auto_prefers_batched(self, db, machine):
+        result = GTSEngine(db, machine).run(PageRankKernel(iterations=2))
+        assert result.execution == "batched"
+
+    def test_unknown_mode_rejected(self, db, machine):
+        with pytest.raises(ConfigurationError):
+            GTSEngine(db, machine, execution="warp")
+
+    def test_execution_reported_in_to_dict(self, db, machine):
+        engine = GTSEngine(db, machine, execution="paged")
+        assert engine.run(
+            PageRankKernel(iterations=2)).to_dict()["execution"] == "paged"
+
+
+class TestCLIExecutionFlag:
+    def test_parsed_on_run_and_profile(self):
+        for command in ("run", "profile"):
+            args = build_parser().parse_args(
+                [command, "--dataset", "rmat26", "--execution", "batched"])
+            assert args.execution == "batched"
+
+    def test_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "rmat26", "--execution", "warp"])
+
+    def test_batched_run(self, tmp_path, capsys):
+        graph = generate_rmat(7, edge_factor=4, seed=2)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(graph, path)
+        assert main(["run", "--edges", path, "--algorithm", "pagerank",
+                     "--iterations", "2", "--execution", "batched"]) == 0
+        assert "PageRank" in capsys.readouterr().out
+
+    def test_batchless_algorithm_fails_gracefully(self, tmp_path, capsys):
+        graph = generate_rmat(7, edge_factor=4, seed=2)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(graph, path)
+        assert main(["run", "--edges", path, "--algorithm", "degree",
+                     "--execution", "batched"]) == 1
+        assert "error:" in capsys.readouterr().err

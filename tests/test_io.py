@@ -222,19 +222,27 @@ class TestEnginePagePool:
         from repro.core import BFSKernel, GTSEngine, PageRankKernel
 
         # A pool far smaller than the database forces constant eviction.
+        # The per-page path is pinned because it is the one that touches
+        # the pool every round (the batched path reads each page exactly
+        # once to build its plan, so it cannot generate re-read traffic).
         pool_pages = max(2, rmat_db.num_pages // 8)
         lazy = self._open(rmat_db, tmp_path, pool_pages)
         start = int(np.argmax(rmat_db.out_degrees))
 
-        eager_engine = GTSEngine(rmat_db, machine)
-        lazy_engine = GTSEngine(lazy, machine)
+        eager_engine = GTSEngine(rmat_db, machine, execution="paged")
+        lazy_engine = GTSEngine(lazy, machine, execution="paged")
+        batched_engine = GTSEngine(lazy, machine, execution="batched")
         for kernel_factory in (lambda: BFSKernel(start_vertex=start),
                                lambda: PageRankKernel(iterations=4)):
             want = eager_engine.run(kernel_factory())
             got = lazy_engine.run(kernel_factory())
+            fast = batched_engine.run(kernel_factory())
             for key in want.values:
                 np.testing.assert_allclose(
                     got.values[key], want.values[key], atol=1e-12)
+                np.testing.assert_array_equal(
+                    fast.values[key], got.values[key])
+            assert fast.elapsed_seconds == got.elapsed_seconds
 
         # Eviction really happened: the pool stayed at capacity and
         # pages were re-read after being dropped.
