@@ -47,10 +47,20 @@ from repro.core import (
 from repro.errors import (
     CapacityError,
     ConfigurationError,
+    DeviceLostError,
+    FaultError,
     FormatError,
     GTSError,
+    IntegrityError,
     OutOfMemoryError,
+    RetryExhaustedError,
     SimulationError,
+)
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
 )
 from repro.format import (
     GraphDatabase,
@@ -119,5 +129,13 @@ __all__ = [
     "OutOfMemoryError",
     "ConfigurationError",
     "SimulationError",
+    "FaultError",
+    "IntegrityError",
+    "RetryExhaustedError",
+    "DeviceLostError",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "__version__",
 ]

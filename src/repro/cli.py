@@ -20,6 +20,8 @@ Examples::
     python -m repro run --dataset rmat26 --algorithm bfs --json
     python -m repro run --dataset rmat26 --algorithm pagerank \\
         --trace-out trace.json --metrics-out metrics.json
+    python -m repro run --dataset rmat26 --algorithm pagerank \\
+        --faults chaos.json --fault-seed 1
     python -m repro profile --dataset rmat26 --algorithm pagerank
     python -m repro recommend --dataset rmat32 --algorithm pagerank
     python -m repro bench --experiment fig9 --algorithm BFS
@@ -139,6 +141,17 @@ def build_parser():
                               "'auto' picks per kernel")
         sub.add_argument("--no-cache", action="store_true")
         sub.add_argument("--page-size", type=int, default=2 * KB)
+        sub.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="inject faults from a JSON FaultPlan "
+                              "(transient SSD errors, corrupt pages, "
+                              "copy errors, stream stalls, device "
+                              "loss); recoverable faults slow the "
+                              "simulated run but leave results "
+                              "bit-identical")
+        sub.add_argument("--fault-seed", type=int, default=None,
+                         metavar="N",
+                         help="override the fault plan's seed (one "
+                              "plan file, many chaos runs)")
         sub.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write a Chrome trace-event JSON file "
                               "(open in Perfetto / chrome://tracing)")
@@ -265,12 +278,18 @@ def _execute_run(args, tracing=False):
         start = int(np.argmax(db.out_degrees))
     kernel = ALGORITHMS[args.algorithm][0](args, start)
     machine = scaled_workstation(num_gpus=args.gpus, num_ssds=args.ssds)
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import FaultPlan
+        faults = FaultPlan.from_json_file(args.faults)
     engine = GTSEngine(db, machine, strategy=args.strategy,
                        num_streams=args.streams,
                        micro_technique=args.micro,
                        enable_caching=not args.no_cache,
                        tracing=tracing,
-                       execution=getattr(args, "execution", "auto"))
+                       execution=getattr(args, "execution", "auto"),
+                       faults=faults,
+                       fault_seed=getattr(args, "fault_seed", None))
     result = engine.run(kernel, dataset_name=name)
     return result, db, machine, kernel
 

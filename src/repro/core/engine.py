@@ -35,7 +35,8 @@ from repro.core.result import RoundStats, RunResult
 from repro.core.strategies import make_strategy
 from repro.core.streams import StreamScheduler
 from repro.errors import (CapacityError, ConfigurationError,
-                          SimulationError)
+                          DeviceLostError, SimulationError)
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.hardware.machine import MachineRuntime
 
 #: Valid values of the ``execution`` knob.
@@ -91,19 +92,42 @@ class GTSEngine:
         without a batched implementation.  Both paths produce identical
         algorithm outputs and identical simulated timings — the knob
         trades host wall-clock only.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or its dict form)
+        injected into every run.  Recoverable faults cost simulated
+        time but leave algorithm outputs bit-identical to the
+        fault-free run; unrecoverable ones raise a typed
+        :class:`~repro.errors.GTSError` subclass — never a wrong
+        answer.  A batched run degrades any faulted round to the paged
+        path (where per-page injection and retry live) and continues.
+    fault_seed:
+        Overrides the plan's seed (the CLI's ``--fault-seed``), letting
+        one plan file drive a whole matrix of chaos runs.
+    retry_policy:
+        Overrides the plan's :class:`~repro.faults.RetryPolicy` for
+        transient-fault recovery.
     """
 
     def __init__(self, db, machine, strategy="performance", num_streams=16,
                  micro_technique=MicroTechnique.EDGE_CENTRIC,
                  enable_caching=True, cache_bytes=None, cache_policy="lru",
                  mm_buffer_bytes=None, tracing=False,
-                 validate_simulation=False, execution="auto"):
+                 validate_simulation=False, execution="auto",
+                 faults=None, fault_seed=None, retry_policy=None):
         if num_streams < 1:
             raise ConfigurationError("need at least one stream")
         if execution not in EXECUTION_MODES:
             raise ConfigurationError(
                 "unknown execution mode %r (expected one of %s)"
                 % (execution, ", ".join(EXECUTION_MODES)))
+        if faults is not None and not isinstance(faults, FaultPlan):
+            faults = FaultPlan.from_dict(faults)
+        if retry_policy is not None and not isinstance(retry_policy,
+                                                       RetryPolicy):
+            retry_policy = RetryPolicy.from_dict(retry_policy)
+        self.faults = faults
+        self.fault_seed = fault_seed
+        self.retry_policy = retry_policy
         self.db = db
         self.machine = machine
         self.strategy = make_strategy(strategy)
@@ -174,6 +198,78 @@ class GTSEngine:
             return False
         return supported
 
+    @staticmethod
+    def _integrity_retries(db):
+        """Host-read integrity retries seen so far by ``db`` (and its
+        base database, for dynamic overlays)."""
+        total = getattr(db, "integrity_retries", 0)
+        base = getattr(db, "_base", None)
+        if base is not None:
+            total += getattr(base, "integrity_retries", 0)
+        return total
+
+    def _round_assignments(self, pids_round, runtime, dead_gpus):
+        """Per-page GPU assignments for a round, with dead GPUs' pages
+        redistributed to survivors (Strategy-P degradation)."""
+        assignments = self.strategy.assign_batch(pids_round,
+                                                 runtime.num_gpus)
+        if not dead_gpus:
+            return assignments
+        survivors = [g for g in range(runtime.num_gpus)
+                     if g not in dead_gpus]
+        cache = {}
+        remapped = []
+        for gpus in assignments:
+            out = cache.get(gpus)
+            if out is None:
+                out = tuple(dict.fromkeys(
+                    g if g not in dead_gpus
+                    else survivors[g % len(survivors)]
+                    for g in gpus))
+                cache[gpus] = out
+            remapped.append(out)
+        return remapped
+
+    def _absorb_gpu_losses(self, runtime, injector, dead_gpus, recorder):
+        """Handle GPUs whose scheduled loss time has passed.
+
+        Loss is detected at round boundaries: a GPU finishes (drains)
+        the round in flight and disappears before the next one.  Under
+        Strategy-P every survivor holds the full WA, so the dead GPU's
+        share of the page stream is simply redistributed and the run
+        continues — slower, but with bit-identical algorithm output.
+        Under Strategy-S the dead GPU owned an unrecoverable WA chunk,
+        so the run fails with a typed error rather than a wrong answer.
+        Returns True when the dead set grew (cached assignments must be
+        rebuilt).
+        """
+        lost = [g for g in injector.gpu_losses_by(runtime.now)
+                if g not in dead_gpus and 0 <= g < runtime.num_gpus]
+        if not lost:
+            return False
+        for g in lost:
+            dead_gpus.add(g)
+            injector.note_device_lost()
+            if recorder is not None:
+                recorder.instant(
+                    "device_lost", runtime.gpus[g].lane, "copy engine",
+                    runtime.now, gpu=g,
+                    lost_at=injector.plan.gpu_loss[g])
+        if not self.strategy.wa_replicated:
+            raise DeviceLostError(
+                "GPU %d was lost at simulated time %.6f under the %s "
+                "strategy; its partitioned WA chunk is gone and cannot "
+                "be recovered" % (lost[0], runtime.now,
+                                  self.strategy.name),
+                device="gpu:%d" % lost[0], lost_at=runtime.now)
+        if len(dead_gpus) >= runtime.num_gpus:
+            raise DeviceLostError(
+                "all %d GPU(s) lost by simulated time %.6f; no device "
+                "remains to stream the topology to"
+                % (runtime.num_gpus, runtime.now),
+                device="gpu:%d" % lost[-1], lost_at=runtime.now)
+        return True
+
     def _mm_buffer_capacity(self):
         topology = self.db.topology_bytes()
         if self.mm_buffer_bytes is not None:
@@ -225,7 +321,31 @@ class GTSEngine:
     def run(self, kernel, dataset_name=None):
         """Execute ``kernel`` over the database; returns a
         :class:`~repro.core.result.RunResult` with the algorithm output
-        and the simulated performance counters."""
+        and the simulated performance counters.
+
+        When the engine was built with a fault plan, a fresh
+        :class:`~repro.faults.FaultInjector` scopes this run's faults
+        and is attached to the database's host read path (file-backed
+        databases verify checksums against it) for the duration of the
+        run only.
+        """
+        injector = None
+        attached = []
+        if self.faults is not None and self.faults.active:
+            injector = FaultInjector(self.faults, seed=self.fault_seed,
+                                     retry=self.retry_policy)
+            for candidate in (self.db, getattr(self.db, "_base", None)):
+                if candidate is not None and hasattr(
+                        candidate, "attach_fault_injector"):
+                    candidate.attach_fault_injector(injector)
+                    attached.append(candidate)
+        try:
+            return self._run(kernel, dataset_name, injector)
+        finally:
+            for candidate in attached:
+                candidate.detach_fault_injector()
+
+    def _run(self, kernel, dataset_name, injector):
         wall_start = _time.perf_counter()
         db = self.db
         # A mutated topology (dynamic updates, compaction) invalidates
@@ -236,6 +356,7 @@ class GTSEngine:
             self._db_topology_version = version
         pool_hits_start = getattr(db, "pool_hits", 0)
         pool_misses_start = getattr(db, "pool_misses", 0)
+        integrity_retries_start = self._integrity_retries(db)
         scatter_hits_start = getattr(db, "scatter_hits", 0)
         scatter_misses_start = getattr(db, "scatter_misses", 0)
         use_batched = self._resolve_execution(kernel)
@@ -251,6 +372,7 @@ class GTSEngine:
             tracing=self.tracing, recorder=recorder)
         if runtime.storage is not None:
             runtime.storage.check_fits(topology)
+            runtime.storage.fault_injector = injector
         elif topology > runtime.mm_buffer.capacity_bytes:
             raise CapacityError(
                 "graph of %d bytes exceeds main memory %d and the machine "
@@ -283,10 +405,11 @@ class GTSEngine:
         wa_ready = self.strategy.book_wa_broadcast(runtime, wa_total)
 
         rounds = []
-        scheduler = StreamScheduler(runtime)
+        scheduler = StreamScheduler(runtime, fault_injector=injector)
         total_edges = 0
         fetch_ready = {}
         full_assignments = None
+        dead_gpus = set()
 
         round_index = 0
         while True:
@@ -306,9 +429,42 @@ class GTSEngine:
             round_start = runtime.now
             fetch = self._make_fetch(runtime, fetch_ready, round_start,
                                      stats)
+            if injector is not None:
+                injector.begin_round(round_index)
+                if injector.plan.gpu_loss and self._absorb_gpu_losses(
+                        runtime, injector, dead_gpus, recorder):
+                    # The survivor set changed; cached full-scan
+                    # assignments no longer reflect it.
+                    full_assignments = None
+            pids_round = np.concatenate([small, large])
             # SPs first, then LPs (reduces kernel switching, Section 3.2).
-            if use_batched:
-                pids_round = np.concatenate([small, large])
+            run_batched = use_batched
+            assignments = None
+            if use_batched or dead_gpus:
+                if use_batched and len(pids_round) == plan_arrays.num_pages:
+                    # Full-scan rounds dispatch the same SP-first page
+                    # sequence every time; compute its assignment once.
+                    if full_assignments is None:
+                        full_assignments = self._round_assignments(
+                            pids_round, runtime, dead_gpus)
+                    assignments = full_assignments
+                else:
+                    assignments = self._round_assignments(
+                        pids_round, runtime, dead_gpus)
+            if (run_batched and injector is not None
+                    and injector.plan.any_rates
+                    and injector.round_faulted(pids_round, assignments)):
+                # Graceful degradation: a fault will fire somewhere in
+                # this round, so take the paged path — where per-page
+                # injection, retry and backoff live — for this round
+                # only.  Clean rounds keep the batched fast path, which
+                # books bit-identically.
+                run_batched = False
+                injector.note_fallback()
+                if recorder is not None:
+                    recorder.instant("fallback", "engine", "rounds",
+                                     round_start, round=round_index)
+            if run_batched:
                 batch = plan_arrays.round_batch(pids_round)
                 work = kernel.process_batch(batch, state, ctx)
                 stats.pages_dispatched += batch.num_pages
@@ -318,23 +474,13 @@ class GTSEngine:
                 total_edges += round_edges
                 if work.next_pids is not None and len(work.next_pids):
                     next_pid_chunks.append(work.next_pids)
-                if len(pids_round) == plan_arrays.num_pages:
-                    # Full-scan rounds dispatch the same SP-first page
-                    # sequence every time; compute its assignment once.
-                    if full_assignments is None:
-                        full_assignments = self.strategy.assign_batch(
-                            pids_round, runtime.num_gpus)
-                    assignments = full_assignments
-                else:
-                    assignments = self.strategy.assign_batch(
-                        pids_round, runtime.num_gpus)
                 scheduler.dispatch_round(
                     pids_round, assignments,
                     copy_bytes_all[pids_round], work.lane_steps,
                     kernel.cycles_per_lane_step, caches, wa_ready,
                     round_start, fetch, stats)
             else:
-                for pid in np.concatenate([small, large]):
+                for i, pid in enumerate(pids_round):
                     pid = int(pid)
                     page = db.page(pid)
                     work = kernel.process_page(page, state, ctx)
@@ -346,14 +492,18 @@ class GTSEngine:
                         next_pid_chunks.append(work.next_pids)
                     ra_bytes = db.ra_subvector_bytes(
                         pid, kernel.ra_bytes_per_vertex)
-                    for g in self.strategy.assign(pid, runtime.num_gpus):
+                    gpus = (assignments[i] if assignments is not None
+                            else self.strategy.assign(pid,
+                                                      runtime.num_gpus))
+                    for g in gpus:
                         earliest = max(round_start, wa_ready[g])
                         if caches[g].lookup(pid, ts=earliest):
                             stats.pages_from_cache += 1
                             scheduler.dispatch_cached(
                                 g, earliest,
                                 work.lane_steps,
-                                kernel.cycles_per_lane_step)
+                                kernel.cycles_per_lane_step,
+                                page_id=pid)
                         else:
                             ready = fetch(pid)
                             copy_bytes = db.page_bytes(pid) + ra_bytes
@@ -361,7 +511,8 @@ class GTSEngine:
                             scheduler.dispatch_streamed(
                                 g, max(ready, wa_ready[g]), copy_bytes,
                                 work.lane_steps,
-                                kernel.cycles_per_lane_step)
+                                kernel.cycles_per_lane_step,
+                                page_id=pid)
                             caches[g].admit(pid, ts=earliest)
 
             # Lines 27-30: barrier, WA sync, nextPIDSet merge.
@@ -392,6 +543,17 @@ class GTSEngine:
             round_index += 1
 
         values = kernel.results(state)
+        fault_stats = None
+        if injector is not None:
+            fault_stats = injector.stats()
+            fault_stats["dead_gpus"] = sorted(dead_gpus)
+            fault_stats["integrity_retries"] = (
+                self._integrity_retries(db) - integrity_retries_start)
+            if runtime.storage is not None:
+                fault_stats["fetch_retries"] = list(
+                    runtime.storage.fetch_retries)
+                fault_stats["device_faults"] = list(
+                    runtime.storage.faults_injected)
         if self.validate_simulation:
             from repro.hardware.validation import check_runtime
             check_runtime(runtime)
@@ -441,6 +603,7 @@ class GTSEngine:
             notes="preloaded" if preloaded else "cold storage",
             timeline=timeline,
             trace=recorder,
+            fault_stats=fault_stats,
         )
 
     # ------------------------------------------------------------------
@@ -470,10 +633,13 @@ class GTSEngine:
         variant of :meth:`_fetch` — the same lookups, channel bookings
         and counters without the per-page method-call chain, so a round
         that misses the buffer thousands of times does not pay Python
-        dispatch for every miss.  Traced or LRU-buffered runs (and
-        machines without storage) use the generic method.
+        dispatch for every miss.  Traced, LRU-buffered or
+        fault-injected runs (and machines without storage) use the
+        generic method, whose :meth:`StorageArray.fetch` call is where
+        SSD fault injection lives.
         """
         if (runtime.recorder is not None or runtime.storage is None
+                or runtime.storage.fault_injector is not None
                 or runtime.mm_buffer.policy != "pin"):
             return lambda pid: self._fetch(runtime, fetch_ready, pid,
                                            round_start, stats)

@@ -84,6 +84,10 @@ class RunResult:
     #: when the engine ran with ``tracing=True``; feed it to
     #: :func:`repro.obs.write_chrome_trace` for a Perfetto-loadable file.
     trace: Optional[object] = None
+    #: Fault-injection accounting (:meth:`repro.faults.FaultInjector.stats`
+    #: plus per-device counters) when the run had a fault plan; ``None``
+    #: for fault-free runs.
+    fault_stats: Optional[Dict] = None
 
     @property
     def cache_hit_rate(self):
@@ -126,6 +130,10 @@ class RunResult:
         if self.pool_hits + self.pool_misses:
             pool = ", page-pool hit rate %.1f%%" % (
                 100.0 * self.pool_hit_rate)
+        if self.fault_stats:
+            pool += ", %d fault(s) injected (%d retries)" % (
+                self.fault_stats.get("faults_injected", 0),
+                self.fault_stats.get("retries", 0))
         return (
             "%s on %s [%s, %d GPU(s), %d stream(s)]: %.6f s simulated, "
             "%d rounds, %d pages streamed, cache hit rate %.1f%%, "
@@ -182,6 +190,7 @@ class RunResult:
                 None if self.kernel_busy_seconds <= 0
                 else self.transfer_to_kernel_ratio),
             "notes": self.notes,
+            "fault_stats": self.fault_stats,
             "rounds": [
                 {
                     "round_index": r.round_index,

@@ -32,6 +32,11 @@ class Strategy:
     """Interface shared by the two multi-GPU strategies."""
 
     name = "abstract"
+    #: True when every GPU holds the complete WA.  Decides whether a GPU
+    #: lost mid-run is survivable: replicated WA (Strategy-P) lets the
+    #: engine redistribute the dead GPU's page stream to survivors, a
+    #: partitioned WA (Strategy-S) dies with its chunk.
+    wa_replicated = False
 
     def assign(self, page_id, num_gpus):
         """GPU indices that must receive page ``page_id`` (the paper's
@@ -68,6 +73,7 @@ class PerformanceStrategy(Strategy):
     """Strategy-P: replicate WA, partition the page stream."""
 
     name = "performance"
+    wa_replicated = True
 
     def assign(self, page_id, num_gpus):
         return (page_id % num_gpus,)

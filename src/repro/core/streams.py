@@ -10,7 +10,7 @@ exactly that booking logic, so the engine's round loop stays about
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RetryExhaustedError
 
 
 class StreamScheduler:
@@ -21,10 +21,17 @@ class StreamScheduler:
     runtime:
         The :class:`~repro.hardware.machine.MachineRuntime` whose GPU
         timelines are booked.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`.  When installed,
+        streamed dispatches consult it for copy-engine errors (absorbed
+        by retry + backoff booked on the copy engine) and stream stalls
+        (a fixed kernel-launch delay); ``None`` keeps the fault-free
+        fast path untouched.
     """
 
-    def __init__(self, runtime):
+    def __init__(self, runtime, fault_injector=None):
         self.runtime = runtime
+        self.fault_injector = fault_injector
         self._dispatch_count = [0] * runtime.num_gpus
 
     def _next_slot(self, gpu):
@@ -34,17 +41,19 @@ class StreamScheduler:
         return gpu.streams.slots[index]
 
     def dispatch_cached(self, gpu_index, earliest, lane_steps,
-                        cycles_per_lane_step):
+                        cycles_per_lane_step, page_id=None):
         """Book a kernel for a page already resident in the GPU cache
         (Algorithm 1 line 17: no transfer).  Returns the kernel end."""
         gpu = self.runtime.gpus[gpu_index]
         slot = self._next_slot(gpu)
         start = max(earliest, slot.available_at)
+        if self.fault_injector is not None and page_id is not None:
+            start += self._stall(gpu, page_id, start)
         return gpu.book_kernel(slot, start, lane_steps,
                                cycles_per_lane_step)
 
     def dispatch_streamed(self, gpu_index, ready_time, copy_bytes,
-                          lane_steps, cycles_per_lane_step):
+                          lane_steps, cycles_per_lane_step, page_id=None):
         """Book the async copy + kernel pair for a page being streamed
         (Algorithm 1 lines 19-21 / 24-26).
 
@@ -59,16 +68,72 @@ class StreamScheduler:
         gpu = self.runtime.gpus[gpu_index]
         slot = self._next_slot(gpu)
         earliest = max(ready_time, slot.available_at)
-        copy_start, copy_end = gpu.copy_engine.book(
-            earliest, self.runtime.pcie.stream_copy_time(copy_bytes))
-        gpu.bytes_received += copy_bytes
-        if self.runtime.recorder is not None:
-            self.runtime.recorder.interval(
-                "h2d_copy", gpu.lane, "copy engine",
-                copy_start, copy_end, bytes=copy_bytes)
-        kernel_end = gpu.book_kernel(slot, copy_end, lane_steps,
+        if self.fault_injector is not None and page_id is not None:
+            copy_end = self._book_copy_faulted(gpu, page_id, earliest,
+                                               copy_bytes)
+            kernel_earliest = copy_end + self._stall(gpu, page_id,
+                                                     copy_end)
+        else:
+            copy_start, copy_end = gpu.copy_engine.book(
+                earliest, self.runtime.pcie.stream_copy_time(copy_bytes))
+            gpu.bytes_received += copy_bytes
+            if self.runtime.recorder is not None:
+                self.runtime.recorder.interval(
+                    "h2d_copy", gpu.lane, "copy engine",
+                    copy_start, copy_end, bytes=copy_bytes)
+            kernel_earliest = copy_end
+        kernel_end = gpu.book_kernel(slot, kernel_earliest, lane_steps,
                                      cycles_per_lane_step)
         return copy_end, kernel_end
+
+    def _book_copy_faulted(self, gpu, page_id, earliest, copy_bytes):
+        """Book the H2D copy under the fault injector; returns copy end.
+
+        A faulted attempt costs the full copy time (the engine moved the
+        bytes before the error surfaced) plus its backoff, both on the
+        copy engine — everything queued behind it on that GPU waits.
+        """
+        injector = self.fault_injector
+        recorder = self.runtime.recorder
+        duration = self.runtime.pcie.stream_copy_time(copy_bytes)
+        retry = injector.retry
+        for attempt in range(retry.max_attempts):
+            copy_start, copy_end = gpu.copy_engine.book(earliest, duration)
+            if not injector.copy_fault(gpu.index, page_id, attempt):
+                gpu.bytes_received += copy_bytes
+                if recorder is not None:
+                    recorder.interval(
+                        "h2d_copy", gpu.lane, "copy engine",
+                        copy_start, copy_end, bytes=copy_bytes,
+                        attempt=attempt)
+                return copy_end
+            if attempt + 1 >= retry.max_attempts:
+                break
+            backoff = retry.backoff(attempt)
+            _, earliest = gpu.copy_engine.book(copy_end, backoff)
+            injector.note_retry(backoff)
+            if recorder is not None:
+                recorder.interval(
+                    "fault", gpu.lane, "copy engine", copy_start,
+                    copy_end, page=page_id, kind="copy_error",
+                    attempt=attempt)
+                recorder.interval(
+                    "retry", gpu.lane, "copy engine", copy_end,
+                    earliest, page=page_id, backoff=backoff)
+        raise RetryExhaustedError(
+            "H2D copy of page %d to GPU %d failed %d attempt(s)"
+            % (page_id, gpu.index, retry.max_attempts),
+            site="h2d_copy", attempts=retry.max_attempts,
+            page_id=page_id)
+
+    def _stall(self, gpu, page_id, at_time):
+        """Stream-stall delay before the kernel launch (0.0 normally)."""
+        stall = self.fault_injector.stall_seconds(gpu.index, page_id)
+        if stall and self.runtime.recorder is not None:
+            self.runtime.recorder.interval(
+                "fault", gpu.lane, "copy engine", at_time,
+                at_time + stall, page=page_id, kind="stream_stall")
+        return stall
 
     def dispatch_round(self, page_ids, assignments, copy_bytes, lane_steps,
                        cycles_per_lane_step, caches, wa_ready, round_start,
@@ -129,13 +194,14 @@ class StreamScheduler:
                 if hits[g][j]:
                     stats.pages_from_cache += 1
                     self.dispatch_cached(
-                        g, earliest[g], steps, cycles_per_lane_step)
+                        g, earliest[g], steps, cycles_per_lane_step,
+                        page_id=pid)
                 else:
                     ready = fetch(pid)
                     stats.bytes_streamed += copy_bytes[j]
                     self.dispatch_streamed(
                         g, max(ready, wa_ready[g]), copy_bytes[j],
-                        steps, cycles_per_lane_step)
+                        steps, cycles_per_lane_step, page_id=pid)
 
     def _resolve_fetches(self, pids, sequences, hit_lists, fetch):
         """Resolve every cache-missed page's main-memory ready time in

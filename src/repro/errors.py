@@ -61,3 +61,63 @@ class WALError(GTSError):
 
 class SimulationError(GTSError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class FaultError(GTSError):
+    """An injected hardware fault could not be absorbed by recovery.
+
+    Base class for every failure surfaced by the :mod:`repro.faults`
+    subsystem.  Recoverable faults (transient read errors, simulated
+    page corruption caught by checksums, copy-engine hiccups) never
+    raise — they cost retries and simulated time instead.  This
+    hierarchy exists for the faults that recovery *cannot* absorb, so
+    the engine fails with a typed error rather than a wrong answer.
+    """
+
+
+class IntegrityError(GTSError):
+    """A page's bytes failed their CRC32 checksum.
+
+    Raised when a checksummed database reads back a page whose stored
+    checksum does not match the bytes on disk (real bit-rot, a torn
+    write, or an injected corruption that persisted across the verified
+    re-fetch recovery path).  Carries the page so operators can map the
+    failure back to a device region.
+    """
+
+    def __init__(self, message, page_id=None, expected_crc=None,
+                 actual_crc=None):
+        super().__init__(message)
+        self.page_id = page_id
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+
+
+class RetryExhaustedError(FaultError):
+    """A retried operation failed on every allowed attempt.
+
+    ``site`` names the injection point (``"ssd_read"``, ``"h2d_copy"``,
+    ``"host_read"``), ``attempts`` how many times the operation was
+    tried before giving up.
+    """
+
+    def __init__(self, message, site=None, attempts=None, page_id=None):
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+        self.page_id = page_id
+
+
+class DeviceLostError(FaultError):
+    """A whole simulated device failed and its loss is unrecoverable.
+
+    An SSD that dies takes its stripe of pages with it; a GPU that dies
+    under Strategy-S takes its exclusive WA partition.  (A GPU lost
+    under Strategy-P is *not* an error — WA is replicated, so the
+    engine drains it and redistributes its page stream instead.)
+    """
+
+    def __init__(self, message, device=None, lost_at=None):
+        super().__init__(message)
+        self.device = device
+        self.lost_at = lost_at

@@ -1,0 +1,42 @@
+"""Fault injection & recovery for the streaming pipeline (``repro.faults``).
+
+GTS's pipeline — PCI-E SSDs feeding one copy engine feeding many GPU
+streams — is exactly where real deployments see transient read errors,
+corrupted pages and device loss.  This package makes the reproduction
+model the failure half of that story:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the declarative,
+  seed-driven description of what breaks (rates, device-loss schedule,
+  host read corruption) loaded from JSON by ``run --faults``;
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, pure hash-based
+  fault draws (deterministic and probe-able) plus the run's fault
+  bookkeeping;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, bounded attempts
+  with exponential backoff charged as real simulated time on the
+  faulted device channel.
+
+The invariant the chaos suite (``tests/test_chaos.py``) locks in: a
+fault-injected run whose faults are all recoverable produces
+**bit-identical algorithm results** to the fault-free run (only slower),
+and an unrecoverable plan raises a typed
+:class:`~repro.errors.GTSError` subclass — never a wrong answer.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    READ_CORRUPT,
+    READ_OK,
+    READ_TRANSIENT,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "READ_OK",
+    "READ_TRANSIENT",
+    "READ_CORRUPT",
+]

@@ -1,0 +1,70 @@
+"""Bounded retry with exponential backoff, booked in simulated time.
+
+Every recoverable fault in :mod:`repro.faults` is absorbed the same
+way: the failed operation is re-attempted up to ``max_attempts`` times,
+and each failure charges a backoff delay *on the faulted device's
+simulated timeline* — so a run that survives faults is measurably
+slower, and the Eq. 1 / Eq. 2 drift reports (:mod:`repro.obs.drift`)
+show the degradation instead of hiding it.
+"""
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a faulted operation, and at what cost.
+
+    Attempt ``k`` (zero-based) that fails is followed by a backoff of
+    ``backoff_seconds * multiplier ** k``, capped at
+    ``max_backoff_seconds``.  The backoff is booked as real simulated
+    time on the device channel that faulted, serializing behind (and
+    delaying) that device's other work.
+    """
+
+    max_attempts: int = 4
+    backoff_seconds: float = 1e-4
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                "retry policy needs at least one attempt (got %r)"
+                % self.max_attempts)
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ConfigurationError("backoff times cannot be negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff multiplier must be >= 1 (got %r)"
+                % self.multiplier)
+
+    def backoff(self, attempt):
+        """Backoff charged after failed attempt ``attempt`` (0-based)."""
+        delay = self.backoff_seconds * self.multiplier ** attempt
+        return min(delay, self.max_backoff_seconds)
+
+    def total_backoff(self, attempts):
+        """Sum of backoffs over ``attempts`` consecutive failures."""
+        return sum(self.backoff(k) for k in range(attempts))
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build from a plain dict (the ``retry`` key of a fault plan)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                "unknown retry policy field(s): %s"
+                % ", ".join(sorted(unknown)))
+        return cls(**data)
+
+    def to_dict(self):
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+
+#: The policy engines use when a fault plan does not override it.
+DEFAULT_RETRY_POLICY = RetryPolicy()

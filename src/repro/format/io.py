@@ -37,11 +37,13 @@ rather than a torn half-write.
 
 import json
 import os
+import warnings
+import zlib
 from collections import OrderedDict
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import ConfigurationError, FormatError, IntegrityError
 from repro.format.config import PageFormatConfig
 from repro.format.database import GraphDatabase, PageDirectoryEntry
 from repro.format.page import LargePage, SmallPage
@@ -51,6 +53,25 @@ from repro.format.rvt import RecordVertexTable
 FORMAT_VERSION = 1
 
 
+def _fsync_directory(path):
+    """fsync the directory holding ``path``, making renames durable.
+
+    ``os.replace`` is atomic but not durable: the new directory entry
+    can still be lost on power failure until the directory itself is
+    synced.  Best-effort — platforms that cannot open a directory for
+    reading (e.g. Windows) simply skip it.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_database(db, prefix, wal_epoch=None):
     """Write ``db`` under ``<prefix>.meta.json`` / ``<prefix>.pages``.
 
@@ -58,7 +79,17 @@ def save_database(db, prefix, wal_epoch=None):
     content goes to ``<path>.tmp`` first and is renamed into place with
     ``os.replace``, pages before metadata — a crash can leave a stale
     temp file behind but never a corrupt or mismatched pair (the
-    metadata always describes a fully written pages file).
+    metadata always describes a fully written pages file).  After both
+    renames the parent directory is fsynced, so a crash immediately
+    after a successful save cannot roll the pair back to the old
+    version (the WAL epoch protocol depends on a saved base staying
+    saved).
+
+    Every page's CRC32 is recorded in the metadata
+    (``page_checksums``), which readers verify on every page load —
+    bit-rot or a torn write surfaces as a typed
+    :class:`~repro.errors.IntegrityError` naming the page instead of a
+    silently wrong topology.
 
     ``wal_epoch`` pairs the base with its ``<prefix>.wal`` (see the
     layout note above); ``None`` carries over ``db.wal_epoch`` when the
@@ -106,18 +137,50 @@ def save_database(db, prefix, wal_epoch=None):
             for page in db.pages if page.kind.value == "LP"
         },
     }
+    checksums = []
     with open(pages_path + ".tmp", "wb") as handle:
         for page in db.pages:
-            handle.write(page.to_bytes())
+            data = page.to_bytes()
+            checksums.append(zlib.crc32(data))
+            handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
+    # Index i is the checksum of page i (page IDs are dense, so the
+    # directory index and the page ID coincide).
+    metadata["page_checksums"] = checksums
     with open(meta_path + ".tmp", "w") as handle:
         json.dump(metadata, handle)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(pages_path + ".tmp", pages_path)
     os.replace(meta_path + ".tmp", meta_path)
+    _fsync_directory(meta_path)
     return meta_path, pages_path
+
+
+def _checksums_from_metadata(metadata, source):
+    """The ``page_checksums`` list, or ``None`` (with a warning) for
+    databases saved before checksums existed."""
+    checksums = metadata.get("page_checksums")
+    if checksums is None:
+        warnings.warn(
+            "%s predates page checksums; integrity verification is "
+            "disabled for this database (re-save it to add checksums)"
+            % source, stacklevel=3)
+        return None
+    return checksums
+
+
+def _verify_page_bytes(data, page_id, expected_crc, source):
+    """Raise :class:`IntegrityError` unless ``data`` matches its CRC."""
+    actual = zlib.crc32(data)
+    if actual != expected_crc:
+        raise IntegrityError(
+            "page %d in %s failed checksum verification "
+            "(expected CRC32 0x%08x, got 0x%08x)"
+            % (page_id, source, expected_crc, actual),
+            page_id=page_id, expected_crc=expected_crc,
+            actual_crc=actual)
 
 
 def load_database(prefix):
@@ -135,6 +198,7 @@ def load_database(prefix):
                             metadata["rvt"]["lp_ranges"])
     lp_total_degrees = {int(k): v for k, v
                         in metadata["lp_total_degrees"].items()}
+    checksums = _checksums_from_metadata(metadata, meta_path)
 
     directory = []
     pages = []
@@ -149,6 +213,9 @@ def load_database(prefix):
             entry = PageDirectoryEntry(**record)
             directory.append(entry)
             data = handle.read(config.page_size)
+            if checksums is not None:
+                _verify_page_bytes(data, entry.page_id,
+                                   checksums[entry.page_id], pages_path)
             if entry.kind == "SP":
                 page = SmallPage.from_bytes(
                     data, entry.page_id, entry.num_records, config)
@@ -230,12 +297,38 @@ class FileBackedDatabase(GraphDatabase):
                 % (self._pages_path, expected, actual))
         self._lp_total_degrees = {
             int(k): v for k, v in metadata["lp_total_degrees"].items()}
+        self._page_checksums = _checksums_from_metadata(
+            metadata, prefix + ".meta.json")
         if pool_pages < 1:
             raise FormatError("page pool needs at least one slot")
         self._pool_pages = pool_pages
         self._pool = OrderedDict()
         self.pool_hits = 0
         self.pool_misses = 0
+        #: Optional :class:`~repro.faults.FaultInjector`; when attached,
+        #: host page reads consult its ``host_corrupt_reads`` budget.
+        self.fault_injector = None
+        #: Host reads that failed verification and were re-read clean.
+        self.integrity_retries = 0
+
+    # ------------------------------------------------------------------
+    def attach_fault_injector(self, injector):
+        """Route this database's host page reads through ``injector``.
+
+        Refuses plans that corrupt host reads when the database has no
+        checksums to catch them — silently wrong topology is the one
+        outcome the fault model must never produce.
+        """
+        if (injector.plan.host_corrupt_reads
+                and self._page_checksums is None):
+            raise ConfigurationError(
+                "fault plan corrupts host page reads but this database "
+                "predates page checksums; corruption would go "
+                "undetected (re-save the database first)")
+        self.fault_injector = injector
+
+    def detach_fault_injector(self):
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     def page(self, page_id):
@@ -252,11 +345,39 @@ class FileBackedDatabase(GraphDatabase):
         self._pool[page_id] = page
         return page
 
-    def _parse_page(self, page_id):
-        entry = self.directory[page_id]
+    def _read_page_bytes(self, page_id):
+        """One raw page read; a fault injector may corrupt the result."""
         with open(self._pages_path, "rb") as handle:
             handle.seek(page_id * self.config.page_size)
             data = handle.read(self.config.page_size)
+        injector = self.fault_injector
+        if injector is not None and injector.host_read_corrupt(page_id):
+            data = bytes([data[0] ^ 0xFF]) + data[1:]
+        return data
+
+    def _parse_page(self, page_id):
+        entry = self.directory[page_id]
+        data = self._read_page_bytes(page_id)
+        if self._page_checksums is not None:
+            # Transient corruption on the host read path (bit flips in
+            # transit, bad cable, cosmic ray in the page cache) is
+            # recoverable: the checksum catches it and a re-read gets a
+            # clean copy.  Persistent mismatch means the file itself is
+            # damaged — surface the typed error.
+            injector = self.fault_injector
+            attempts = (injector.retry.max_attempts
+                        if injector is not None else 2)
+            expected = self._page_checksums[page_id]
+            for attempt in range(attempts):
+                try:
+                    _verify_page_bytes(data, page_id, expected,
+                                       self._pages_path)
+                    break
+                except IntegrityError:
+                    if attempt + 1 >= attempts:
+                        raise
+                    self.integrity_retries += 1
+                    data = self._read_page_bytes(page_id)
         if entry.kind == "SP":
             page = SmallPage.from_bytes(data, page_id, entry.num_records,
                                         self.config)

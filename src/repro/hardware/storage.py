@@ -5,9 +5,22 @@ hash of the page ID (the mod function by default), and fetches pages from
 their device on demand.  Each device serializes its own reads; striping
 across devices multiplies aggregate fetch bandwidth, which is why two SSDs
 beat one in Figure 9.
+
+Fault model (:mod:`repro.faults`): when a run installs a
+:class:`~repro.faults.FaultInjector` (``fault_injector`` attribute, set
+per run by the engine), every fetch consults it.  A *transient* read
+error costs the failed read plus an exponential backoff — both booked as
+real time on the device channel, so recovery delays everything queued
+behind it.  A *corrupt* read completes but fails checksum verification
+and is re-fetched.  Either class exhausting the retry budget raises
+:class:`~repro.errors.RetryExhaustedError`; a fetch addressed to a
+device the plan has killed raises :class:`~repro.errors.DeviceLostError`
+(a dead SSD takes its stripe of pages with it — unrecoverable).
 """
 
-from repro.errors import CapacityError, SimulationError
+from repro.errors import (CapacityError, DeviceLostError,
+                          RetryExhaustedError, SimulationError)
+from repro.faults.inject import READ_CORRUPT, READ_OK
 from repro.hardware.clock import Resource
 
 
@@ -26,8 +39,14 @@ class StorageArray:
         #: Optional TraceRecorder; each fetch becomes an ``ssd_fetch``
         #: interval on the device's lane.
         self.recorder = recorder
+        #: Optional :class:`~repro.faults.FaultInjector`; installed per
+        #: run by the engine, ``None`` keeps the fault-free fast path.
+        self.fault_injector = None
         self.bytes_read = 0
         self.pages_fetched = 0
+        #: Per-device fault bookkeeping (parallel to ``specs``).
+        self.fetch_retries = [0] * len(self.specs)
+        self.faults_injected = [0] * len(self.specs)
 
     @property
     def num_devices(self):
@@ -54,7 +73,14 @@ class StorageArray:
 
     def fetch(self, page_id, num_bytes, earliest):
         """Book a page read; returns ``(start, end)`` simulated times."""
+        if num_bytes < 0:
+            raise SimulationError(
+                "cannot fetch %d bytes for page %d (negative size)"
+                % (num_bytes, page_id))
         device = self.device_for_page(page_id)
+        if self.fault_injector is not None:
+            return self._fetch_faulted(device, page_id, num_bytes,
+                                       earliest)
         duration = self.specs[device].read_time(num_bytes)
         start, end = self.channels[device].book(earliest, duration)
         self.bytes_read += num_bytes
@@ -65,6 +91,66 @@ class StorageArray:
                 start, end, page=page_id, bytes=num_bytes)
         return start, end
 
+    def _fetch_faulted(self, device, page_id, num_bytes, earliest):
+        """The fetch path under an installed fault injector.
+
+        Each attempt books the read on the device channel (failed and
+        corrupt attempts cost the same channel time as good ones — the
+        device did the work); a failed attempt additionally books its
+        retry backoff there, so the delay is real simulated time that
+        every later read on the device queues behind.
+        """
+        injector = self.fault_injector
+        spec = self.specs[device]
+        name = spec.name
+        lost_at = injector.ssd_lost(device, earliest)
+        if lost_at is not None:
+            if self.recorder is not None:
+                self.recorder.instant(
+                    "device_lost", "storage", name, earliest,
+                    page=page_id, lost_at=lost_at)
+            raise DeviceLostError(
+                "storage device %s (holding page %d) was lost at "
+                "simulated time %.6f; its stripe of pages is gone"
+                % (name, page_id, lost_at),
+                device=name, lost_at=lost_at)
+        channel = self.channels[device]
+        duration = spec.read_time(num_bytes)
+        retry = injector.retry
+        for attempt in range(retry.max_attempts):
+            start, end = channel.book(earliest, duration)
+            outcome = injector.ssd_read_outcome(page_id, attempt)
+            self.faults_injected[device] += outcome is not READ_OK
+            if outcome is READ_OK:
+                self.bytes_read += num_bytes
+                self.pages_fetched += 1
+                if self.recorder is not None:
+                    self.recorder.interval(
+                        "ssd_fetch", "storage", name, start, end,
+                        page=page_id, bytes=num_bytes, attempt=attempt)
+                return start, end
+            # The device still moved the bytes on a corrupt read; a
+            # transient error aborted partway.  Either way the channel
+            # time above is spent, and the backoff is charged on top.
+            if attempt + 1 >= retry.max_attempts:
+                break
+            backoff = retry.backoff(attempt)
+            _, earliest = channel.book(end, backoff)
+            self.fetch_retries[device] += 1
+            injector.note_retry(backoff)
+            if self.recorder is not None:
+                self.recorder.interval(
+                    "fault", "storage", name, start, end,
+                    page=page_id, kind=outcome, attempt=attempt)
+                self.recorder.interval(
+                    "retry", "storage", name, end, earliest,
+                    page=page_id, backoff=backoff)
+        raise RetryExhaustedError(
+            "page %d read on %s failed %d attempt(s) (last outcome: %s)"
+            % (page_id, name, retry.max_attempts,
+               READ_CORRUPT if outcome is READ_CORRUPT else "read error"),
+            site="ssd_read", attempts=retry.max_attempts, page_id=page_id)
+
     def aggregate_bandwidth(self):
         """Sum of sequential-read bandwidths — the Section 4.1 bottleneck."""
         return sum(spec.read_bandwidth for spec in self.specs)
@@ -74,3 +160,5 @@ class StorageArray:
             channel.reset()
         self.bytes_read = 0
         self.pages_fetched = 0
+        self.fetch_retries = [0] * len(self.specs)
+        self.faults_injected = [0] * len(self.specs)

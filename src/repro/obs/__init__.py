@@ -27,10 +27,14 @@ from repro.obs.events import (
     CACHE_MISS,
     COMPACTION,
     DELTA_APPLY,
+    DEVICE_LOST,
+    FALLBACK,
+    FAULT,
     H2D_COPY,
     KERNEL,
     MM_BUFFER_HIT,
     MM_BUFFER_MISS,
+    RETRY,
     ROUND,
     ROUND_BARRIER,
     SSD_FETCH,
@@ -79,6 +83,10 @@ __all__ = [
     "WAL_RESET",
     "DELTA_APPLY",
     "COMPACTION",
+    "FAULT",
+    "RETRY",
+    "FALLBACK",
+    "DEVICE_LOST",
     "MICROSECONDS",
     "chrome_trace",
     "write_chrome_trace",

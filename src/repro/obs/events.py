@@ -52,6 +52,10 @@ WAL_REPLAY = "wal_replay"
 WAL_RESET = "wal_reset"
 DELTA_APPLY = "delta_apply"
 COMPACTION = "compaction"
+FAULT = "fault"
+RETRY = "retry"
+FALLBACK = "fallback"
+DEVICE_LOST = "device_lost"
 
 #: Event name -> category (the Chrome ``cat`` field, used for filtering
 #: in the Perfetto UI).
@@ -74,6 +78,10 @@ CATEGORIES = {
     WAL_RESET: "dynamic",
     DELTA_APPLY: "dynamic",
     COMPACTION: "dynamic",
+    FAULT: "fault",
+    RETRY: "fault",
+    FALLBACK: "fault",
+    DEVICE_LOST: "fault",
 }
 
 #: Phase markers matching the Chrome trace-event ``ph`` field.

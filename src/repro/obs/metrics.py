@@ -247,6 +247,38 @@ def collect_run_metrics(result, registry=None):
         registry.gauge("scatter_index.hit_rate").set(
             result.scatter_hits / total)
 
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        registry.counter("faults.injected",
+                         "probabilistic faults that fired"
+                         ).inc(fs.get("faults_injected", 0))
+        registry.counter("faults.ssd_transient").inc(
+            fs.get("ssd_transient_faults", 0))
+        registry.counter("faults.ssd_corrupt").inc(
+            fs.get("ssd_corrupt_faults", 0))
+        registry.counter("faults.copy_errors").inc(fs.get("copy_faults", 0))
+        registry.counter("faults.stream_stalls").inc(
+            fs.get("stream_stalls", 0))
+        registry.counter("faults.host_corrupt").inc(
+            fs.get("host_corrupt_faults", 0))
+        registry.counter("faults.retries",
+                         "recovery retries across all sites"
+                         ).inc(fs.get("retries", 0))
+        registry.counter("faults.integrity_retries",
+                         "host reads re-read after checksum mismatch"
+                         ).inc(fs.get("integrity_retries", 0))
+        registry.counter("faults.fallback_rounds",
+                         "batched rounds degraded to the paged path"
+                         ).inc(fs.get("fallback_rounds", 0))
+        registry.counter("faults.devices_lost").inc(
+            fs.get("devices_lost", 0))
+        registry.gauge("faults.backoff_seconds",
+                       "simulated backoff charged to faulted channels"
+                       ).set(fs.get("backoff_seconds", 0.0))
+        registry.gauge("faults.stall_seconds",
+                       "simulated stream-stall delay injected"
+                       ).set(fs.get("stall_seconds_injected", 0.0))
+
     registry.gauge("pipeline.transfer_busy_seconds").set(
         result.transfer_busy_seconds)
     registry.gauge("pipeline.kernel_busy_seconds").set(

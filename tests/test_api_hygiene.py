@@ -11,6 +11,7 @@ import repro
 PACKAGES = [
     "repro", "repro.format", "repro.hardware", "repro.graphgen",
     "repro.core", "repro.core.kernels", "repro.baselines", "repro.bench",
+    "repro.faults",
 ]
 
 
@@ -77,3 +78,53 @@ class TestExports:
             # the abstract base and protocol helpers are not.
             if name.endswith("Kernel") and name != "Kernel":
                 assert hasattr(repro, name), name
+
+
+class TestErrorHierarchy:
+    def _public_exceptions(self):
+        from repro import errors
+        return [item for name, item in vars(errors).items()
+                if not name.startswith("_") and inspect.isclass(item)
+                and issubclass(item, Exception)]
+
+    def test_every_exception_derives_from_gts_error(self):
+        from repro.errors import GTSError
+        for cls in self._public_exceptions():
+            assert issubclass(cls, GTSError), cls.__name__
+
+    def test_fault_errors_derive_from_fault_error(self):
+        from repro.errors import (DeviceLostError, FaultError,
+                                  RetryExhaustedError)
+        assert issubclass(RetryExhaustedError, FaultError)
+        assert issubclass(DeviceLostError, FaultError)
+
+    def test_structured_attributes_survive_construction(self):
+        from repro.errors import (CapacityError, DeviceLostError,
+                                  IntegrityError, RetryExhaustedError)
+        capacity = CapacityError("full", required_bytes=10,
+                                 available_bytes=4)
+        assert (capacity.required_bytes, capacity.available_bytes) == (10, 4)
+        integrity = IntegrityError("bad page", page_id=7,
+                                   expected_crc=1, actual_crc=2)
+        assert (integrity.page_id, integrity.expected_crc,
+                integrity.actual_crc) == (7, 1, 2)
+        retry = RetryExhaustedError("gave up", site="ssd_read",
+                                    attempts=4, page_id=3)
+        assert (retry.site, retry.attempts, retry.page_id) \
+            == ("ssd_read", 4, 3)
+        lost = DeviceLostError("dead", device="gpu:1", lost_at=0.5)
+        assert (lost.device, lost.lost_at) == ("gpu:1", 0.5)
+
+    def test_every_exception_raised_by_some_test(self):
+        """Every public exception class appears in a pytest.raises
+        somewhere in the suite — no dead error paths."""
+        import pathlib
+        tests_dir = pathlib.Path(__file__).parent
+        corpus = "\n".join(path.read_text()
+                           for path in tests_dir.glob("test_*.py"))
+        missing = [cls.__name__ for cls in self._public_exceptions()
+                   if cls.__name__ != "GTSError"
+                   and "pytest.raises(%s" % cls.__name__ not in corpus
+                   and "pytest.raises((%s" % cls.__name__ not in corpus
+                   and "(%s)" % cls.__name__ not in corpus]
+        assert not missing, missing

@@ -1,0 +1,201 @@
+"""Chaos suite: whole-engine runs under injected faults.
+
+The contract under test is the robustness invariant from the fault
+subsystem's design: a run whose faults are all *recoverable* produces
+**bit-identical algorithm output** to the fault-free run — faults cost
+simulated time, never correctness — and an *unrecoverable* fault raises
+a typed error instead of returning wrong answers.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.dynamic import UpdateBatch, open_dynamic_database
+from repro.errors import DeviceLostError
+from repro.faults import FaultPlan
+from repro.format import build_database
+from repro.format.io import FileBackedDatabase, save_database
+from repro.graphgen import Graph
+from repro.obs import collect_run_metrics
+from repro.units import KB
+
+SEEDS = [0, 1, 2]
+
+#: Rates low enough that every fault is survivable under the default
+#: retry policy, high enough that every seed injects at least one.
+RECOVERABLE = FaultPlan(ssd_transient_rate=0.02, ssd_corrupt_rate=0.01,
+                        copy_error_rate=0.01, stall_rate=0.03,
+                        stall_seconds=2e-4)
+
+
+def _run(db, machine, kernel, **kwargs):
+    kwargs.setdefault("mm_buffer_bytes", 64 * KB)
+    return GTSEngine(db, machine, **kwargs).run(kernel)
+
+
+def _assert_same_values(faulted, clean):
+    assert set(faulted.values) == set(clean.values)
+    for key, array in clean.values.items():
+        assert np.array_equal(faulted.values[key], array), key
+
+
+class TestRecoverableFaults:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("make_kernel", [
+        lambda: PageRankKernel(iterations=3),
+        lambda: BFSKernel(start_vertex=0),
+    ], ids=["pagerank", "bfs"])
+    def test_bit_identical_results_only_slower(self, rmat_db, machine,
+                                               seed, make_kernel):
+        clean = _run(rmat_db, machine, make_kernel())
+        faulted = _run(rmat_db, machine, make_kernel(),
+                       faults=RECOVERABLE, fault_seed=seed)
+        _assert_same_values(faulted, clean)
+        stats = faulted.fault_stats
+        assert stats is not None
+        assert stats["seed"] == seed
+        assert stats["faults_injected"] > 0
+        assert faulted.elapsed_seconds > clean.elapsed_seconds
+        assert clean.fault_stats is None
+
+    def test_fault_metrics_reach_the_registry(self, rmat_db, machine):
+        result = _run(rmat_db, machine, PageRankKernel(iterations=3),
+                      faults=RECOVERABLE, fault_seed=1)
+        registry = collect_run_metrics(result)
+        stats = result.fault_stats
+        assert registry["faults.injected"].value == stats["faults_injected"]
+        assert registry["faults.retries"].value == stats["retries"]
+        assert (registry["faults.backoff_seconds"].value
+                == stats["backoff_seconds"])
+
+    def test_fault_stats_serialize_and_summarize(self, rmat_db, machine):
+        result = _run(rmat_db, machine, BFSKernel(start_vertex=0),
+                      faults=RECOVERABLE, fault_seed=2)
+        payload = result.to_dict()
+        assert payload["fault_stats"] == result.fault_stats
+        assert "fault(s) injected" in result.summary()
+
+
+class TestBatchedDegradation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_faulted_rounds_fall_back_to_paged(self, rmat_db, machine,
+                                               seed):
+        clean = _run(rmat_db, machine, PageRankKernel(iterations=3),
+                     execution="batched")
+        faulted = _run(rmat_db, machine, PageRankKernel(iterations=3),
+                       execution="batched", faults=RECOVERABLE,
+                       fault_seed=seed)
+        _assert_same_values(faulted, clean)
+        assert faulted.fault_stats["fallback_rounds"] > 0
+        assert faulted.elapsed_seconds > clean.elapsed_seconds
+
+
+class TestDeviceLoss:
+    def test_performance_strategy_survives_a_dead_gpu(self, rmat_db,
+                                                      machine):
+        clean = _run(rmat_db, machine, PageRankKernel(iterations=3),
+                     strategy="performance")
+        faulted = _run(rmat_db, machine, PageRankKernel(iterations=3),
+                       strategy="performance",
+                       faults=FaultPlan(gpu_loss={1: 0.0}))
+        _assert_same_values(faulted, clean)
+        assert faulted.fault_stats["dead_gpus"] == [1]
+        assert faulted.fault_stats["devices_lost"] == 1
+
+    def test_scalability_strategy_cannot_survive_gpu_loss(self, rmat_db,
+                                                          machine):
+        engine = GTSEngine(rmat_db, machine, strategy="scalability",
+                           faults=FaultPlan(gpu_loss={1: 0.0}))
+        with pytest.raises(DeviceLostError) as info:
+            engine.run(PageRankKernel(iterations=3))
+        assert info.value.device == "gpu:1"
+
+    def test_losing_every_gpu_is_fatal(self, rmat_db, machine):
+        engine = GTSEngine(rmat_db, machine, strategy="performance",
+                           faults=FaultPlan(gpu_loss={0: 0.0, 1: 0.0}))
+        with pytest.raises(DeviceLostError):
+            engine.run(PageRankKernel(iterations=3))
+
+    def test_ssd_loss_is_fatal(self, rmat_db, machine):
+        engine = GTSEngine(rmat_db, machine, mm_buffer_bytes=64 * KB,
+                           faults=FaultPlan(ssd_loss={0: 0.0}))
+        with pytest.raises(DeviceLostError) as info:
+            engine.run(PageRankKernel(iterations=3))
+        assert info.value.lost_at == 0.0
+
+
+class TestHostCorruption:
+    def test_corrupt_host_reads_recovered_bit_identically(
+            self, rmat_db, machine, tmp_path):
+        prefix = str(tmp_path / "db")
+        save_database(rmat_db, prefix)
+        clean = _run(FileBackedDatabase(prefix), machine,
+                     PageRankKernel(iterations=3))
+        faulted_db = FileBackedDatabase(prefix)
+        plan = FaultPlan(host_corrupt_reads={0: 1, 2: 1})
+        faulted = _run(faulted_db, machine, PageRankKernel(iterations=3),
+                       faults=plan)
+        _assert_same_values(faulted, clean)
+        assert faulted.fault_stats["host_corrupt_faults"] == 2
+        assert faulted.fault_stats["integrity_retries"] == 2
+        # The engine detaches its injector after the run.
+        assert faulted_db.fault_injector is None
+
+
+CRASH_SCRIPT = textwrap.dedent("""\
+    import os
+    import sys
+
+    from repro.dynamic import compact, open_dynamic_database
+
+    prefix = sys.argv[1]
+    db = open_dynamic_database(prefix)
+
+    def exploding_replace(src, dst):
+        os._exit(17)  # power cut mid-save: no replace ever lands
+
+    os.replace = exploding_replace
+    compact(db, save_prefix=prefix)
+    os._exit(0)  # unreachable
+""")
+
+
+class TestCrashConsistency:
+    def test_crash_during_compaction_save_recovers_via_wal(
+            self, tmp_path, small_config):
+        vids = np.arange(5)
+        graph = Graph.from_edges(6, vids, vids + 1)
+        prefix = str(tmp_path / "crash")
+        save_database(build_database(graph, small_config), prefix)
+        db = open_dynamic_database(prefix)
+        db.apply(UpdateBatch().insert_edge(0, 3))
+        db.apply(UpdateBatch().add_vertices(1).insert_edge(6, 0))
+        del db
+
+        script = tmp_path / "crash_compact.py"
+        script.write_text(CRASH_SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))), "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        proc = subprocess.run([sys.executable, str(script), prefix],
+                              env=env, capture_output=True, text=True)
+        assert proc.returncode == 17, proc.stderr
+
+        # The kill landed before any rename: base files and WAL are the
+        # pre-compaction ones and the epoch guard replays the log.
+        with open(prefix + ".meta.json") as handle:
+            assert json.load(handle).get("wal_epoch", 0) == 0
+        recovered = open_dynamic_database(prefix)
+        assert 3 in recovered.effective_neighbors(0)
+        assert list(recovered.effective_neighbors(6)) == [0]
+        assert recovered.num_vertices == 7
+        recovered.validate()
