@@ -47,6 +47,7 @@ from repro.hardware.specs import scaled_workstation
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(ROOT, "BENCH_faults.json")
 DEFAULT_BASELINE = os.path.join(ROOT, "BENCH_wallclock.json")
+DEFAULT_HISTORY = os.path.join(ROOT, "BENCH_history.jsonl")
 
 #: Active plan that never fires: one GPU loss a simulated week away.
 INERT_PLAN = FaultPlan(gpu_loss={0: 7 * 24 * 3600.0})
@@ -93,6 +94,11 @@ def main(argv=None):
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="bench_wallclock report to gate against")
     parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        metavar="JSONL",
+                        help="append a schema-versioned record to this "
+                             "benchmark-history log (see repro.obs."
+                             "history); '' disables the append")
     parser.add_argument("--quick", action="store_true",
                         help="smoke: scale 13, 2 repeats, 5 iterations, "
                              "self-measured baseline only")
@@ -186,6 +192,16 @@ def main(argv=None):
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print("wrote %s" % args.out)
+    if args.history:
+        from repro.obs.history import append_history
+        append_history(
+            args.history, report["benchmark"], report,
+            meta={"quick": args.quick, "scale": args.scale,
+                  "edge_factor": args.edge_factor, "seed": args.seed,
+                  "iterations": args.iterations,
+                  "repeats": args.repeats},
+            generated=report["generated"])
+        print("appended history record to %s" % args.history)
     if not identical:
         print("FAIL: inert-plan run is not bit-identical to dormant",
               file=sys.stderr)

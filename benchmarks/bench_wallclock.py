@@ -45,9 +45,9 @@ from repro.format import PageFormatConfig, build_database
 from repro.graphgen import generate_rmat
 from repro.hardware.specs import scaled_workstation
 
-DEFAULT_OUT = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_wallclock.json")
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(ROOT, "BENCH_wallclock.json")
+DEFAULT_HISTORY = os.path.join(ROOT, "BENCH_history.jsonl")
 
 
 def make_kernel(name, iterations):
@@ -116,6 +116,11 @@ def main(argv=None):
                              "must not be slower)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="where to write the JSON report")
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        metavar="JSONL",
+                        help="append a schema-versioned record to this "
+                             "benchmark-history log (see repro.obs."
+                             "history); '' disables the append")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: scale 13, 2 repeats, 5 iterations")
     args = parser.parse_args(argv)
@@ -205,6 +210,16 @@ def main(argv=None):
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print("wrote %s" % args.out)
+    if args.history:
+        from repro.obs.history import append_history
+        append_history(
+            args.history, report["benchmark"], report,
+            meta={"quick": args.quick, "scale": args.scale,
+                  "edge_factor": args.edge_factor, "seed": args.seed,
+                  "iterations": args.iterations,
+                  "repeats": args.repeats, "kernels": args.kernels},
+            generated=report["generated"])
+        print("appended history record to %s" % args.history)
     if not ok:
         print("FAIL: execution paths disagree", file=sys.stderr)
         return 1

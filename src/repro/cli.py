@@ -12,6 +12,12 @@ Subcommands:
 * ``update`` — apply a mutation batch to a saved database through the
   WAL-backed dynamic layer (:mod:`repro.dynamic`).
 * ``compact`` — fold accumulated deltas + WAL back into a clean base.
+* ``obs`` — trace analytics and regression tooling:
+  ``obs analyze`` reports occupancy / overlap-hiding / round
+  attribution for a written trace, ``obs compare`` diffs two metrics
+  artifacts (or a fresh run against its ``BENCH_history.jsonl``
+  baseline) under tolerance rules and exits non-zero on regression,
+  and ``obs history`` lists the benchmark trajectory.
 
 Examples::
 
@@ -29,6 +35,12 @@ Examples::
     python -m repro run --db mygraph --algorithm bfs
     python -m repro compact --db mygraph
     python -m repro report
+    python -m repro obs analyze trace.json
+    python -m repro obs compare before.json after.json
+    python -m repro obs compare --history BENCH_history.jsonl \\
+        --benchmark wallclock_batched_vs_paged --match quick=true \\
+        BENCH_wallclock.json
+    python -m repro obs history --path BENCH_history.jsonl
 """
 
 import argparse
@@ -226,6 +238,57 @@ def build_parser():
         "report", help="aggregate results/ into REPORT.md")
     report.add_argument("--results-dir", default="results")
     report.add_argument("--output", default=None)
+
+    obs = commands.add_parser(
+        "obs",
+        help="trace analytics, run comparison and benchmark history")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    analyze = obs_sub.add_parser(
+        "analyze",
+        help="occupancy / overlap-hiding / round attribution for a "
+             "written Chrome trace")
+    analyze.add_argument("trace", metavar="TRACE.json",
+                         help="trace file written by --trace-out")
+    analyze.add_argument("--json", action="store_true",
+                         help="print the full analysis as JSON")
+    analyze.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the JSON report (the artifact "
+                              "'obs compare' diffs)")
+
+    compare = obs_sub.add_parser(
+        "compare",
+        help="diff metrics artifacts under tolerance rules; exits "
+             "non-zero on regression")
+    compare.add_argument("files", nargs="+", metavar="FILE",
+                         help="two artifacts (before, after), or one "
+                              "current artifact with --history")
+    compare.add_argument("--history", default=None, metavar="JSONL",
+                         help="compare FILE against its latest matching "
+                              "baseline in this history log")
+    compare.add_argument("--benchmark", default=None,
+                         help="history record name to baseline against "
+                              "(required with --history)")
+    compare.add_argument("--match", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="baseline meta filter, repeatable (values "
+                              "parse as JSON: quick=true, scale=13)")
+    compare.add_argument("--rules", default=None, metavar="RULES.json",
+                         help="tolerance rules (default: built-in rules "
+                              "for run/analysis artifacts)")
+    compare.add_argument("--json", action="store_true",
+                         help="print the comparison report as JSON")
+
+    history = obs_sub.add_parser(
+        "history", help="list the benchmark history log")
+    history.add_argument("--path", default="BENCH_history.jsonl",
+                         metavar="JSONL")
+    history.add_argument("--benchmark", default=None,
+                         help="only records from this benchmark")
+    history.add_argument("--limit", type=int, default=None,
+                         help="show only the newest N records")
+    history.add_argument("--json", action="store_true",
+                         help="print records as a JSON list")
     return parser
 
 
@@ -439,6 +502,100 @@ def _command_report(args):
     return 0
 
 
+def _parse_match(items):
+    """``KEY=VALUE`` pairs -> a meta-match dict (values parse as JSON
+    when they can, so ``quick=true`` and ``scale=13`` type correctly)."""
+    match = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                "--match expects KEY=VALUE, got %r" % item)
+        try:
+            match[key] = json.loads(value)
+        except ValueError:
+            match[key] = value
+    return match
+
+
+def _command_obs_analyze(args):
+    from repro.obs import analyze_trace
+    analysis = analyze_trace(args.trace)
+    if args.json:
+        print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(analysis.summary())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(analysis.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print("wrote analysis to %s" % args.out, file=sys.stderr)
+    return 0
+
+
+def _command_obs_compare(args):
+    from repro.obs import compare_metrics, load_rules
+    from repro.obs.history import compare_to_baseline
+    rules = load_rules(args.rules) if args.rules else None
+    if args.history:
+        if len(args.files) != 1:
+            raise ConfigurationError(
+                "--history compares exactly one current artifact "
+                "against the log; got %d files" % len(args.files))
+        if not args.benchmark:
+            raise ConfigurationError(
+                "--history needs --benchmark to pick baseline records")
+        with open(args.files[0]) as handle:
+            payload = json.load(handle)
+        report, baseline = compare_to_baseline(
+            args.history, args.benchmark, payload, rules=rules,
+            match_meta=_parse_match(args.match))
+        if report is None:
+            print("no matching %r baseline in %s — nothing to gate "
+                  "(append this run to start a trajectory)"
+                  % (args.benchmark, args.history))
+            return 0
+    else:
+        if len(args.files) != 2:
+            raise ConfigurationError(
+                "compare takes exactly two artifacts (before, after) "
+                "unless --history is given; got %d" % len(args.files))
+        payloads = []
+        for path in args.files:
+            with open(path) as handle:
+                payloads.append(json.load(handle))
+        report = compare_metrics(payloads[0], payloads[1], rules=rules,
+                                 before_label=args.files[0],
+                                 after_label=args.files[1])
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return report.exit_code
+
+
+def _command_obs_history(args):
+    from repro.obs.history import describe_history, load_history
+    records = load_history(args.path, benchmark=args.benchmark)
+    if args.json:
+        shown = (records if args.limit is None
+                 else records[-args.limit:])
+        print(json.dumps(shown, indent=2, sort_keys=True))
+    else:
+        print(describe_history(records, limit=args.limit))
+    return 0
+
+
+def _command_obs(args):
+    handlers = {
+        "analyze": _command_obs_analyze,
+        "compare": _command_obs_compare,
+        "history": _command_obs_history,
+    }
+    return handlers[args.obs_command](args)
+
+
 def _command_bench(args):
     outcome = EXPERIMENTS[args.experiment](args)
     tables = outcome if isinstance(outcome, tuple) else (outcome,)
@@ -460,6 +617,7 @@ def main(argv=None):
         "update": _command_update,
         "compact": _command_compact,
         "report": _command_report,
+        "obs": _command_obs,
     }
     try:
         return handlers[args.command](args)

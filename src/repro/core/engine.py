@@ -537,6 +537,7 @@ class GTSEngine:
                     "round", "engine", "rounds",
                     stats.start_time, stats.end_time,
                     round=round_index, description=plan.description,
+                    execution="batched" if run_batched else "paged",
                     pages=stats.pages_dispatched,
                     bytes=stats.bytes_streamed)
             rounds.append(stats)

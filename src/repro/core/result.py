@@ -89,6 +89,29 @@ class RunResult:
     #: for fault-free runs.
     fault_stats: Optional[Dict] = None
 
+    def analyze(self):
+        """Trace analytics for this run: lane occupancy, the
+        transfer/kernel overlap-hiding ratio, per-round category
+        attribution and the critical path.
+
+        Requires the engine to have run with ``tracing=True`` (the
+        analysis consumes :attr:`trace`); the report is computed once
+        and cached on the result.  Returns a
+        :class:`repro.obs.analyze.TraceAnalysis`.
+        """
+        cached = getattr(self, "_analysis", None)
+        if cached is None:
+            from repro.obs.analyze import analyze_trace
+
+            cached = self._analysis = analyze_trace(self.trace)
+        return cached
+
+    def round_profiles(self):
+        """Per-round :class:`repro.obs.analyze.RoundProfile` time series
+        (storage/transfer/kernel/sync attribution, cache traffic and the
+        round's critical lane).  Traced runs only."""
+        return self.analyze().rounds
+
     @property
     def cache_hit_rate(self):
         total = self.cache_hits + self.cache_misses

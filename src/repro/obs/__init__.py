@@ -14,11 +14,37 @@ Three layers over one event stream:
   :class:`MetricsRegistry` (counters/gauges/histograms, JSON/JSONL
   serialization) and the :class:`CostModelDrift` report comparing each
   run's simulated time against the Eq. 1/Eq. 2 analytic prediction.
+* :mod:`repro.obs.analyze` — trace analytics over the same stream:
+  per-lane occupancy, the transfer/kernel overlap-hiding ratio (the
+  Fig. 4 claim made measurable), per-round category attribution and
+  the critical path through round barriers.
+* :mod:`repro.obs.compare` / :mod:`repro.obs.history` — run-to-run
+  comparison under tolerance rules with typed verdicts
+  (improved/unchanged/regressed) and the append-only, schema-versioned
+  ``BENCH_history.jsonl`` benchmark trajectory the CI regression gate
+  diffs against.
 
 Observability is pay-for-use: with ``tracing=False`` nothing is
 recorded and the dispatch hot path takes no measurable overhead.
 """
 
+from repro.obs.analyze import (
+    CriticalSegment,
+    LaneOccupancy,
+    OverlapStats,
+    RoundProfile,
+    TraceAnalysis,
+    analyze_trace,
+)
+from repro.obs.compare import (
+    DEFAULT_RULES,
+    ComparisonReport,
+    MetricDelta,
+    ToleranceRule,
+    compare_metrics,
+    flatten_metrics,
+    load_rules,
+)
 from repro.obs.drift import CostModelDrift, cost_model_drift, record_drift
 from repro.obs.events import (
     CACHE_ADMIT,
@@ -50,8 +76,18 @@ from repro.obs.exporters import (
     MICROSECONDS,
     ascii_timeline,
     chrome_trace,
+    load_chrome_trace,
+    recorder_from_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.history import (
+    append_history,
+    compare_to_baseline,
+    describe_history,
+    latest_baseline,
+    load_history,
+    make_record,
 )
 from repro.obs.metrics import (
     Counter,
@@ -92,6 +128,27 @@ __all__ = [
     "write_chrome_trace",
     "ascii_timeline",
     "validate_chrome_trace",
+    "recorder_from_chrome_trace",
+    "load_chrome_trace",
+    "TraceAnalysis",
+    "LaneOccupancy",
+    "OverlapStats",
+    "RoundProfile",
+    "CriticalSegment",
+    "analyze_trace",
+    "ToleranceRule",
+    "MetricDelta",
+    "ComparisonReport",
+    "DEFAULT_RULES",
+    "compare_metrics",
+    "flatten_metrics",
+    "load_rules",
+    "make_record",
+    "append_history",
+    "load_history",
+    "latest_baseline",
+    "compare_to_baseline",
+    "describe_history",
     "Counter",
     "Gauge",
     "Histogram",

@@ -10,10 +10,19 @@ the main-memory buffer and the engine's round markers.
 4-style character Gantt chart (sharing
 :func:`repro.hardware.trace.render_lane`), so the two views agree by
 construction — a property the test suite asserts on busy fractions.
+
+Exporter output is **deterministic**: lanes are natural-sorted (``gpu2``
+before ``gpu10``), metadata records are emitted in lane order, and JSON
+keys are sorted — two identical runs produce byte-identical artifacts,
+which is what lets :mod:`repro.obs.compare` trust diffs between them.
+``recorder_from_chrome_trace`` is the exact inverse of ``chrome_trace``,
+so a written trace file round-trips back into a recorder for
+:func:`repro.obs.analyze.analyze_trace`.
 """
 
 import json
 import os
+import re
 
 from repro.errors import ConfigurationError
 from repro.obs.events import (
@@ -30,10 +39,28 @@ from repro.obs.events import (
 MICROSECONDS = 1e6
 
 
+def _natural_key(text):
+    """Digit-aware sort key: ``gpu2`` sorts before ``gpu10``."""
+    return tuple(int(part) if part.isdigit() else part
+                 for part in re.split(r"(\d+)", text))
+
+
+def sorted_lanes(recorder):
+    """The recorder's lanes in deterministic (natural-sorted) order."""
+    return sorted(recorder.lanes(),
+                  key=lambda lane: (_natural_key(lane[0]),
+                                    _natural_key(lane[1])))
+
+
 def _lane_ids(recorder):
-    """Stable (process -> pid, (process, thread) -> tid) assignments."""
+    """Deterministic (process -> pid, (process, thread) -> tid) maps.
+
+    Lanes are natural-sorted rather than taken in first-appearance
+    order, so two runs of the same configuration assign identical
+    pid/tid numbering regardless of which lane happened to emit first.
+    """
     pids, tids = {}, {}
-    for process, thread in recorder.lanes():
+    for process, thread in sorted_lanes(recorder):
         pids.setdefault(process, len(pids))
         tids.setdefault((process, thread),
                         len([k for k in tids if k[0] == process]))
@@ -74,20 +101,78 @@ def chrome_trace(recorder, time_scale=MICROSECONDS):
         elif event.phase == PHASE_INSTANT:
             record["s"] = "t"  # thread-scoped instant
         if event.args:
-            record["args"] = dict(event.args)
+            record["args"] = {key: event.args[key]
+                              for key in sorted(event.args)}
         events.append(record)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(recorder, path, time_scale=MICROSECONDS):
-    """Write the Chrome trace JSON for ``recorder`` to ``path``."""
+    """Write the Chrome trace JSON for ``recorder`` to ``path``.
+
+    Output is byte-deterministic (sorted lanes, sorted keys): two
+    identical runs write identical files.
+    """
     payload = chrome_trace(recorder, time_scale=time_scale)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
+        json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def recorder_from_chrome_trace(payload, time_scale=MICROSECONDS):
+    """Rebuild a :class:`~repro.obs.events.TraceRecorder` from a Chrome
+    trace object — the exact inverse of :func:`chrome_trace`.
+
+    Lane names come from the ``process_name`` / ``thread_name``
+    metadata; timestamps divide back by ``time_scale``.  Events keep
+    file order.  Used by :func:`repro.obs.analyze.analyze_trace` so a
+    written artifact analyzes identically to the live recorder it came
+    from (analysis quantizes to nanoseconds, absorbing the microsecond
+    float round-trip).
+    """
+    from repro.obs.events import TraceRecorder
+
+    events = validate_chrome_trace(payload)
+    process_names = {}
+    thread_names = {}
+    for event in events:
+        if event["ph"] != "M":
+            continue
+        if event["name"] == "process_name":
+            process_names[event["pid"]] = event["args"]["name"]
+        elif event["name"] == "thread_name":
+            thread_names[(event["pid"], event["tid"])] = \
+                event["args"]["name"]
+    recorder = TraceRecorder()
+    for event in events:
+        if event["ph"] == "M":
+            continue
+        process = process_names.get(event["pid"], str(event["pid"]))
+        thread = thread_names.get((event["pid"], event["tid"]),
+                                  str(event["tid"]))
+        args = event.get("args") or {}
+        start = event["ts"] / time_scale
+        if event["ph"] == PHASE_COMPLETE:
+            recorder.interval(event["name"], process, thread, start,
+                              start + event["dur"] / time_scale, **args)
+        elif event["ph"] == PHASE_INSTANT:
+            recorder.instant(event["name"], process, thread, start,
+                             **args)
+        else:
+            raise ConfigurationError(
+                "cannot rebuild a recorder from phase %r events"
+                % event["ph"])
+    return recorder
+
+
+def load_chrome_trace(path, time_scale=MICROSECONDS):
+    """Read a written trace file back into a recorder."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return recorder_from_chrome_trace(payload, time_scale=time_scale)
 
 
 #: Lane-name substring -> ASCII mark, mirroring the Figure 4 legend.
@@ -116,15 +201,19 @@ def ascii_timeline(recorder, t0=0.0, t1=None, width=72):
             "no trace was recorded (run the engine with tracing=True)")
     if t1 is None:
         t1 = recorder.end_time()
+    # Degenerate windows (empty recorder, t1 <= t0) render a well-formed
+    # empty chart rather than raising or printing a negative span.
+    span = max(0.0, t1 - t0)
     lines = ["trace over %s  ('#'=copy, '='=kernel, '~'=storage)"
-             % format_seconds(t1 - t0)]
-    # Group lanes by process (first appearance), keep per-process thread
-    # order — so gpu0's copy engine and streams render contiguously.
-    first = {}
-    for index, (process, _) in enumerate(recorder.lanes()):
-        first.setdefault(process, index)
-    lanes = sorted(recorder.lanes(), key=lambda lane: first[lane[0]])
-    for process, thread in lanes:
+             % format_seconds(span)]
+    if span == 0.0:
+        if not len(recorder):
+            lines.append("  (no events recorded)")
+        return "\n".join(lines)
+    # Natural-sorted lanes (gpu2 before gpu10), grouped by process — the
+    # same deterministic order the Chrome exporter assigns pids/tids in,
+    # so two identical runs render byte-identical timelines.
+    for process, thread in sorted_lanes(recorder):
         intervals = recorder.busy_intervals(process, thread)
         if not intervals:
             continue  # instant-only lanes (caches, buffers) have no bars

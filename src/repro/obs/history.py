@@ -1,0 +1,162 @@
+"""Benchmark history: an append-only, schema-versioned JSONL trajectory.
+
+The checked-in ``BENCH_*.json`` reports are write-once snapshots — each
+benchmark run overwrites the last, so the repo carries a *point*, not a
+*trajectory*.  This module gives every benchmark one shared append-only
+log (``BENCH_history.jsonl`` at the repo root by default): one JSON
+object per line, schema-versioned, carrying the benchmark's name, its
+identifying ``meta`` (scale, kernel, quick-mode, ...) and a flattened
+``metrics`` map.
+
+The log is what regression gating diffs against:
+:func:`latest_baseline` picks the newest record whose ``meta`` matches
+the fresh run's configuration (records from different scales or hosts
+are never compared), and :func:`compare_to_baseline` feeds both into
+:func:`repro.obs.compare.compare_metrics`.  ``repro obs history`` lists
+the log; ``repro obs compare --history ...`` is the CI gate.
+"""
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.compare import compare_metrics, flatten_metrics
+
+#: Bump when a record's shape changes; readers accept <= this.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` stamp distinguishing history records from other JSONL.
+RECORD_KIND = "gts-bench-history"
+
+#: Default log location: the repository root next to ``BENCH_*.json``.
+DEFAULT_HISTORY_FILENAME = "BENCH_history.jsonl"
+
+
+def make_record(benchmark, metrics, meta=None, generated=None) -> Dict:
+    """Build one schema-versioned history record (not yet written).
+
+    ``metrics`` may be any payload :func:`flatten_metrics` accepts —
+    it is flattened so records stay greppable and diffable no matter
+    which benchmark produced them.  ``meta`` holds the identifying
+    labels baselines are matched on; ``generated`` is the producer's
+    ISO-8601 timestamp (history is append-only, so the stamp is part of
+    the record rather than derived at read time).
+    """
+    if not benchmark or not isinstance(benchmark, str):
+        raise ConfigurationError("history records need a benchmark name")
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": RECORD_KIND,
+        "benchmark": benchmark,
+        "generated": generated,
+        "meta": dict(meta or {}),
+        "metrics": flatten_metrics(metrics),
+    }
+
+
+def append_history(path, benchmark, metrics, meta=None,
+                   generated=None) -> Dict:
+    """Append one record to the history log; returns the record."""
+    record = make_record(benchmark, metrics, meta=meta,
+                         generated=generated)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path, benchmark=None) -> List[Dict]:
+    """Read the log; returns records in file (chronological) order.
+
+    Raises :class:`~repro.errors.ConfigurationError` on unparsable
+    lines, missing record fields, or a schema version newer than this
+    reader — a truncated or hand-mangled history should fail the gate
+    loudly, not silently compare against garbage.
+    """
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise ConfigurationError(
+                    "%s:%d: unparsable history line (%s)"
+                    % (path, lineno, error))
+            if not isinstance(record, dict) or \
+                    record.get("kind") != RECORD_KIND:
+                raise ConfigurationError(
+                    "%s:%d: not a %s record" % (path, lineno,
+                                                RECORD_KIND))
+            if record.get("schema", 0) > SCHEMA_VERSION:
+                raise ConfigurationError(
+                    "%s:%d: record schema v%s is newer than this "
+                    "reader (v%d)" % (path, lineno,
+                                      record.get("schema"),
+                                      SCHEMA_VERSION))
+            for field in ("benchmark", "metrics"):
+                if field not in record:
+                    raise ConfigurationError(
+                        "%s:%d: record missing %r" % (path, lineno,
+                                                      field))
+            if benchmark is None or record["benchmark"] == benchmark:
+                records.append(record)
+    return records
+
+
+def _meta_matches(record, match_meta):
+    meta = record.get("meta", {})
+    return all(meta.get(key) == value
+               for key, value in (match_meta or {}).items())
+
+
+def latest_baseline(records, match_meta=None) -> Optional[Dict]:
+    """The newest record whose ``meta`` is a superset of ``match_meta``
+    (``None`` when nothing matches)."""
+    for record in reversed(records):
+        if _meta_matches(record, match_meta):
+            return record
+    return None
+
+
+def compare_to_baseline(history_path, benchmark, payload, rules=None,
+                        match_meta=None):
+    """Diff a fresh payload against its history baseline.
+
+    Returns ``(report, baseline_record)``; ``(None, None)`` when the
+    log holds no matching baseline (first run of a new configuration —
+    callers should then *append*, not fail).
+    """
+    records = load_history(history_path, benchmark=benchmark)
+    baseline = latest_baseline(records, match_meta=match_meta)
+    if baseline is None:
+        return None, None
+    label = "%s@%s" % (benchmark, baseline.get("generated") or "baseline")
+    report = compare_metrics(baseline["metrics"], payload, rules=rules,
+                             before_label=label, after_label="current")
+    return report, baseline
+
+
+def describe_history(records, limit=None) -> str:
+    """Plain-text listing for ``repro obs history``."""
+    if not records:
+        return "no history records"
+    shown = records if limit is None else records[-limit:]
+    lines = ["%-26s %-24s %-8s %s"
+             % ("generated", "benchmark", "metrics", "meta")]
+    for record in shown:
+        meta = record.get("meta", {})
+        meta_text = " ".join("%s=%s" % (key, meta[key])
+                             for key in sorted(meta))
+        lines.append("%-26s %-24s %-8d %s"
+                     % (record.get("generated") or "-",
+                        record["benchmark"], len(record["metrics"]),
+                        meta_text))
+    if len(records) > len(shown):
+        lines.append("... %d older record(s)"
+                     % (len(records) - len(shown)))
+    return "\n".join(lines)

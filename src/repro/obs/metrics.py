@@ -91,7 +91,11 @@ class Histogram:
     def snapshot(self):
         ordered = sorted(self.values)
         if not ordered:
-            return {"count": 0, "sum": 0.0}
+            # Same shape as the populated snapshot so downstream
+            # flattening/comparison never KeyErrors on an idle
+            # instrument; the statistics are None, not fake zeros.
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p95": None, "p99": None}
         return {
             "count": len(ordered),
             "sum": sum(ordered),
@@ -167,13 +171,28 @@ class MetricsRegistry:
                 handle.write(payload + "\n")
         return payload
 
-    def append_jsonl(self, path):
+    #: Version stamp written on every JSONL line so trajectory readers
+    #: can evolve the record shape without guessing.
+    JSONL_SCHEMA_VERSION = 1
+
+    def append_jsonl(self, path, extra_meta=None):
         """Append this registry as one JSONL line (the bench trajectory
-        format: one line per run, greppable and diff-friendly)."""
+        format: one line per run, greppable and diff-friendly).
+
+        Each line is stamped with a ``schema`` version, and
+        ``extra_meta`` merges into the record's ``meta`` block at write
+        time (without mutating the registry) — so one registry can be
+        logged under several experiment labels and every record stays
+        self-describing.
+        """
+        record = self.as_dict()
+        record["schema"] = self.JSONL_SCHEMA_VERSION
+        if extra_meta:
+            record["meta"].update(extra_meta)
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         with open(path, "a") as handle:
-            handle.write(json.dumps(self.as_dict(), sort_keys=True,
+            handle.write(json.dumps(record, sort_keys=True,
                                     default=_jsonable) + "\n")
         return path
 
@@ -202,6 +221,9 @@ def collect_run_metrics(result, registry=None):
     registry.meta.setdefault("strategy", result.strategy)
     registry.meta.setdefault("num_gpus", result.num_gpus)
     registry.meta.setdefault("num_streams", result.num_streams)
+    # Which round-execution path actually ran — history records must be
+    # self-describing, and paged-vs-batched is a different hot path.
+    registry.meta.setdefault("execution", result.execution)
 
     registry.gauge("run.elapsed_seconds",
                    "simulated wall-clock").set(result.elapsed_seconds)

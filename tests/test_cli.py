@@ -187,6 +187,129 @@ class TestBenchCommand:
         assert "vertex-centric" in capsys.readouterr().out
 
 
+class TestObsAnalyzeCommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert main(["run", "--dataset", "rmat26", "--algorithm",
+                     "pagerank", "--iterations", "2", "--no-cache",
+                     "--trace-out", path]) == 0
+        return path
+
+    def test_analyze_reports_overlap(self, trace_path, capsys):
+        assert main(["obs", "analyze", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "overlap-hiding ratio" in output
+        assert "rounds" in output
+
+    def test_analyze_json_and_out(self, trace_path, tmp_path, capsys):
+        out = str(tmp_path / "analysis.json")
+        assert main(["obs", "analyze", trace_path, "--json",
+                     "--out", out]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "gts-trace-analysis/1"
+        assert payload == json.load(open(out))
+
+    def test_missing_trace_is_an_error(self, capsys):
+        assert main(["obs", "analyze", "/nonexistent/trace.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsCompareCommand:
+    def _write(self, tmp_path, name, elapsed):
+        path = tmp_path / name
+        path.write_text(json.dumps(
+            {"run": {"elapsed_seconds": elapsed, "mteps": 1.0}}))
+        return str(path)
+
+    def test_unchanged_exits_zero(self, tmp_path, capsys):
+        before = self._write(tmp_path, "a.json", 1.0)
+        after = self._write(tmp_path, "b.json", 1.0)
+        assert main(["obs", "compare", before, after]) == 0
+        assert "UNCHANGED" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path,
+                                                capsys):
+        before = self._write(tmp_path, "a.json", 1.0)
+        after = self._write(tmp_path, "b.json", 2.0)
+        assert main(["obs", "compare", before, after]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_custom_rules_and_json(self, tmp_path, capsys):
+        before = self._write(tmp_path, "a.json", 1.0)
+        after = self._write(tmp_path, "b.json", 2.0)
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([{
+            "pattern": "run.elapsed_seconds", "direction": "lower",
+            "rel_tol": 5.0}]))
+        assert main(["obs", "compare", before, after,
+                     "--rules", str(rules), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "unchanged"
+
+    def test_history_gate(self, tmp_path, capsys):
+        from repro.obs.history import append_history
+        history = str(tmp_path / "hist.jsonl")
+        append_history(history, "bench",
+                       {"run": {"elapsed_seconds": 1.0}},
+                       meta={"quick": True})
+        current = self._write(tmp_path, "fresh.json", 2.0)
+        assert main(["obs", "compare", "--history", history,
+                     "--benchmark", "bench", "--match", "quick=true",
+                     current]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # A meta filter with no matching baseline gates nothing.
+        assert main(["obs", "compare", "--history", history,
+                     "--benchmark", "bench", "--match", "quick=false",
+                     current]) == 0
+        assert "no matching" in capsys.readouterr().out
+
+    def test_history_requires_benchmark(self, tmp_path, capsys):
+        current = self._write(tmp_path, "fresh.json", 1.0)
+        assert main(["obs", "compare", "--history",
+                     str(tmp_path / "h.jsonl"), current]) == 1
+        assert "--benchmark" in capsys.readouterr().err
+
+    def test_two_files_required_without_history(self, tmp_path,
+                                                capsys):
+        only = self._write(tmp_path, "a.json", 1.0)
+        assert main(["obs", "compare", only]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_match_syntax(self, tmp_path, capsys):
+        current = self._write(tmp_path, "fresh.json", 1.0)
+        assert main(["obs", "compare", "--history",
+                     str(tmp_path / "h.jsonl"), "--benchmark", "bench",
+                     "--match", "noequals", current]) == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestObsHistoryCommand:
+    def test_lists_records(self, tmp_path, capsys):
+        from repro.obs.history import append_history
+        history = str(tmp_path / "hist.jsonl")
+        append_history(history, "bench", {"x": 1},
+                       meta={"quick": True}, generated="t0")
+        append_history(history, "other", {"y": 2}, generated="t1")
+        assert main(["obs", "history", "--path", history]) == 0
+        output = capsys.readouterr().out
+        assert "bench" in output and "other" in output
+        assert main(["obs", "history", "--path", history,
+                     "--benchmark", "bench", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["benchmark"] for r in payload] == ["bench"]
+
+    def test_checked_in_history_is_loadable(self, capsys):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.abspath(
+            __file__)))
+        path = os.path.join(root, "BENCH_history.jsonl")
+        assert main(["obs", "history", "--path", path]) == 0
+        output = capsys.readouterr().out
+        assert "wallclock_batched_vs_paged" in output
+        assert "fault_injection_zero_fault_overhead" in output
+
+
 class TestReportCommand:
     def test_aggregates_results(self, tmp_path, capsys):
         results = tmp_path / "results"

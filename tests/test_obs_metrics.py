@@ -49,7 +49,12 @@ class TestInstruments:
         assert snap["p50"] == pytest.approx(2.5)
 
     def test_empty_histogram_snapshot(self):
-        assert Histogram("h").snapshot() == {"count": 0, "sum": 0.0}
+        # Same keys as a populated snapshot, stats explicitly null — so
+        # downstream flattening/JSON consumers see a stable shape.
+        assert Histogram("h").snapshot() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None,
+            "mean": None, "p50": None, "p95": None, "p99": None,
+        }
 
     def test_same_name_returns_same_instrument(self):
         registry = MetricsRegistry()
@@ -89,6 +94,17 @@ class TestSerialization:
         assert len(lines) == 3
         assert json.loads(lines[2])["metrics"]["c"]["value"] == 2
 
+    def test_append_jsonl_stamps_schema_and_extra_meta(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        registry = MetricsRegistry(meta={"run": 1})
+        registry.counter("c").inc()
+        registry.append_jsonl(path, extra_meta={"experiment": "fig9"})
+        record = json.loads(open(path).read())
+        assert record["schema"] == MetricsRegistry.JSONL_SCHEMA_VERSION
+        assert record["meta"] == {"run": 1, "experiment": "fig9"}
+        # The merge happens at write time only.
+        assert registry.meta == {"run": 1}
+
 
 class TestCollectRunMetrics:
     def test_counters_match_result(self, bfs_result):
@@ -116,6 +132,8 @@ class TestCollectRunMetrics:
         assert registry.meta["algorithm"] == "BFS"
         assert registry.meta["strategy"] == bfs_result.strategy
         assert registry.meta["cache_policy"] == bfs_result.cache_policy
+        assert registry.meta["execution"] == bfs_result.execution
+        assert registry.meta["execution"] in ("paged", "batched")
 
     def test_registry_round_trips_through_json(self, bfs_result):
         registry = collect_run_metrics(bfs_result)
