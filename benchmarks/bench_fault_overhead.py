@@ -55,6 +55,8 @@ INERT_PLAN = FaultPlan(gpu_loss={0: 7 * 24 * 3600.0})
 
 def run_mode(db, machine, iterations, repeats, faults):
     """One engine, ``1 + repeats`` batched runs; mirrors bench_wallclock."""
+    from bench_wallclock import summarize_samples
+
     engine = GTSEngine(db, machine, execution="batched", faults=faults)
     wall = []
     result = None
@@ -63,11 +65,7 @@ def run_mode(db, machine, iterations, repeats, faults):
         start = time.perf_counter()
         result = engine.run(kernel)
         wall.append(time.perf_counter() - start)
-    return {
-        "cold_seconds": round(wall[0], 4),
-        "warm_seconds": [round(w, 4) for w in wall[1:]],
-        "best_seconds": round(min(wall[1:] or wall), 4),
-    }, result
+    return summarize_samples(wall), result
 
 
 def load_baseline(path):

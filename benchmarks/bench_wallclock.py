@@ -62,6 +62,23 @@ def make_kernel(name, iterations):
     raise SystemExit("unknown kernel %r" % name)
 
 
+def summarize_samples(wall):
+    """Cold/warm split plus distribution statistics over the warm
+    repeats (best-of-warm stays the headline; p50/p95 expose run-to-run
+    spread instead of hiding it behind the single best sample)."""
+    warm = wall[1:] or wall
+    ordered = sorted(warm)
+    from repro.obs.metrics import Histogram
+    return {
+        "cold_seconds": round(wall[0], 4),
+        "warm_seconds": [round(w, 4) for w in wall[1:]],
+        "best_seconds": round(min(warm), 4),
+        "mean_seconds": round(sum(warm) / len(warm), 4),
+        "p50_seconds": round(Histogram._quantile(ordered, 0.50), 4),
+        "p95_seconds": round(Histogram._quantile(ordered, 0.95), 4),
+    }
+
+
 def run_mode(db, machine, kernel_name, iterations, execution, repeats):
     """One engine, ``1 + repeats`` runs; returns (timings, last result)."""
     engine = GTSEngine(db, machine, execution=execution)
@@ -72,11 +89,7 @@ def run_mode(db, machine, kernel_name, iterations, execution, repeats):
         start = time.perf_counter()
         result = engine.run(kernel)
         wall.append(time.perf_counter() - start)
-    return {
-        "cold_seconds": round(wall[0], 4),
-        "warm_seconds": [round(w, 4) for w in wall[1:]],
-        "best_seconds": round(min(wall[1:] or wall), 4),
-    }, result
+    return summarize_samples(wall), result
 
 
 def check_equivalent(kernel_name, paged, batched):

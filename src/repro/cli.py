@@ -29,6 +29,8 @@ Examples::
     python -m repro run --dataset rmat26 --algorithm pagerank \\
         --faults chaos.json --fault-seed 1
     python -m repro profile --dataset rmat26 --algorithm pagerank
+    python -m repro run --dataset rmat26 --algorithm pagerank \\
+        --host-profile --flamegraph flame.txt --host-profile-out host.json
     python -m repro recommend --dataset rmat32 --algorithm pagerank
     python -m repro bench --experiment fig9 --algorithm BFS
     python -m repro update --db mygraph --batch updates.txt
@@ -170,6 +172,20 @@ def build_parser():
         sub.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="write run metrics (counters, gauges, "
                               "histograms, cost-model drift) as JSON")
+        sub.add_argument("--host-profile", action="store_true",
+                         help="profile the *host* runtime (not the "
+                              "simulation): phase wall-clock timers, "
+                              "tracemalloc peak and real I/O counters; "
+                              "prints a phase table after the summary")
+        sub.add_argument("--flamegraph", default=None, metavar="PATH",
+                         help="write host phases as collapsed-stack "
+                              "flamegraph text (implies --host-profile; "
+                              "feed to flamegraph.pl or speedscope)")
+        sub.add_argument("--host-profile-out", default=None,
+                         metavar="PATH",
+                         help="write the host profile as JSON (implies "
+                              "--host-profile); the artifact is "
+                              "'repro obs compare' compatible")
 
     run = commands.add_parser("run", help="run an algorithm through GTS")
     add_run_arguments(run)
@@ -329,9 +345,25 @@ def _load_database(args):
     return graph, db, args.edges
 
 
+def _wants_host_profile(args):
+    return bool(getattr(args, "host_profile", False)
+                or getattr(args, "flamegraph", None)
+                or getattr(args, "host_profile_out", None))
+
+
 def _execute_run(args, tracing=False):
     """Shared by ``run`` and ``profile``: build everything and run."""
+    profiler = None
+    if _wants_host_profile(args):
+        # One CLI-owned profiler spans load *and* run: the engine
+        # snapshots it non-destructively, so ``result.host_profile``
+        # covers the whole command, database load included.
+        from repro.obs.host import HostProfiler
+        profiler = HostProfiler()
+        profiler.push("load")
     graph, db, name = _load_database(args)
+    if profiler is not None:
+        profiler.pop()  # load
     if args.start is not None:
         start = args.start
     elif graph is not None:
@@ -352,18 +384,41 @@ def _execute_run(args, tracing=False):
                        tracing=tracing,
                        execution=getattr(args, "execution", "auto"),
                        faults=faults,
-                       fault_seed=getattr(args, "fault_seed", None))
+                       fault_seed=getattr(args, "fault_seed", None),
+                       host_profile=profiler if profiler is not None
+                       else False)
     result = engine.run(kernel, dataset_name=name)
+    if profiler is not None:
+        # The engine snapshotted the externally-owned profiler; stop
+        # tracemalloc now that the measurement is over.
+        profiler.finish()
     return result, db, machine, kernel
 
 
 def _write_artifacts(args, result, db, machine, kernel):
-    """Handle ``--trace-out`` / ``--metrics-out`` for run and profile."""
+    """Handle ``--trace-out`` / ``--metrics-out`` and the host-profile
+    artifacts (``--flamegraph`` / ``--host-profile-out``) for run and
+    profile."""
     written = []
+    profile = result.host_profile
     if args.trace_out:
         from repro.obs import write_chrome_trace
-        write_chrome_trace(result.trace, args.trace_out)
+        trace = result.trace
+        if profile is not None and trace is not None:
+            # Merge the host lanes into the exported file only; the
+            # live recorder (and result.analyze()) stay untouched.
+            from repro.obs.host import merge_host_lanes
+            trace = merge_host_lanes(trace, profile)
+        write_chrome_trace(trace, args.trace_out)
         written.append(("trace", args.trace_out))
+    if getattr(args, "flamegraph", None):
+        from repro.obs.host import write_flamegraph
+        write_flamegraph(profile, args.flamegraph)
+        written.append(("flamegraph", args.flamegraph))
+    if getattr(args, "host_profile_out", None):
+        from repro.obs.host import write_host_profile
+        write_host_profile(profile, args.host_profile_out)
+        written.append(("host profile", args.host_profile_out))
     if args.metrics_out:
         from repro.obs import (
             collect_run_metrics,
@@ -399,6 +454,9 @@ def _command_run(args):
             else:
                 print("  %s: min %s  max %s" % (key, values.min(),
                                                 values.max()))
+        if result.host_profile is not None:
+            print()
+            print(result.host_profile.summary())
     for label, path in _write_artifacts(args, result, db, machine,
                                         kernel):
         print("wrote %s to %s" % (label, path), file=sys.stderr)
@@ -413,6 +471,9 @@ def _command_profile(args):
     print(ascii_timeline(result.trace, width=args.width))
     print()
     print(cost_model_drift(result, db, machine, kernel).summary())
+    if result.host_profile is not None:
+        print()
+        print(result.host_profile.summary())
     for label, path in _write_artifacts(args, result, db, machine,
                                         kernel):
         print("wrote %s to %s" % (label, path), file=sys.stderr)

@@ -106,6 +106,15 @@ class GTSEngine:
     retry_policy:
         Overrides the plan's :class:`~repro.faults.RetryPolicy` for
         transient-fault recovery.
+    host_profile:
+        ``True`` records a host-runtime profile of every run — nested
+        wall-clock phase spans through setup, plan build, page parsing,
+        kernels and dispatch, plus tracemalloc peak and real I/O
+        counters — attached as ``RunResult.host_profile``.  Pass a
+        :class:`~repro.obs.host.HostProfiler` instance to share one
+        measurement across load + run (the CLI does); the engine then
+        snapshots without finishing it.  ``False`` (default) keeps the
+        host hot paths free of any profiling work.
     """
 
     def __init__(self, db, machine, strategy="performance", num_streams=16,
@@ -113,7 +122,8 @@ class GTSEngine:
                  enable_caching=True, cache_bytes=None, cache_policy="lru",
                  mm_buffer_bytes=None, tracing=False,
                  validate_simulation=False, execution="auto",
-                 faults=None, fault_seed=None, retry_policy=None):
+                 faults=None, fault_seed=None, retry_policy=None,
+                 host_profile=False):
         if num_streams < 1:
             raise ConfigurationError("need at least one stream")
         if execution not in EXECUTION_MODES:
@@ -140,6 +150,7 @@ class GTSEngine:
         self.validate_simulation = validate_simulation
         self.tracing = tracing or validate_simulation
         self.execution = execution
+        self.host_profile = host_profile
         self._plan_cache = RoundPlanCache()
         self._lp_runs = self._index_large_page_runs()
         self._db_topology_version = getattr(db, "topology_version", 0)
@@ -339,15 +350,55 @@ class GTSEngine:
                         candidate, "attach_fault_injector"):
                     candidate.attach_fault_injector(injector)
                     attached.append(candidate)
+        hp = None
+        owns_profiler = False
+        hp_hosts = []
+        if self.host_profile:
+            from repro.obs.host import HostProfiler
+            if isinstance(self.host_profile, HostProfiler):
+                hp = self.host_profile
+            else:
+                hp = HostProfiler()
+                owns_profiler = True
+            # Attach to the database (and its base, for dynamic
+            # overlays) so page parsing and scatter-index builds report
+            # into the same span stack — scoped to this run only.
+            for candidate in (self.db, getattr(self.db, "_base", None)):
+                if candidate is not None and hasattr(
+                        candidate, "host_profiler"):
+                    candidate.host_profiler = hp
+                    hp_hosts.append(candidate)
         try:
-            return self._run(kernel, dataset_name, injector)
+            return self._run(kernel, dataset_name, injector, hp,
+                             owns_profiler)
         finally:
             for candidate in attached:
                 candidate.detach_fault_injector()
+            for candidate in hp_hosts:
+                candidate.host_profiler = None
 
-    def _run(self, kernel, dataset_name, injector):
+    @staticmethod
+    def _host_io_counters(db):
+        """Real file-I/O counters seen so far by ``db`` (and its base
+        database, for dynamic overlays): bytes read, reads issued,
+        adjacent-read opportunities."""
+        totals = [0, 0, 0]
+        for candidate in (db, getattr(db, "_base", None)):
+            if candidate is None:
+                continue
+            totals[0] += getattr(candidate, "host_bytes_read", 0)
+            totals[1] += getattr(candidate, "host_reads", 0)
+            totals[2] += getattr(candidate, "host_adjacent_reads", 0)
+        return totals
+
+    def _run(self, kernel, dataset_name, injector, hp=None,
+             owns_profiler=False):
         wall_start = _time.perf_counter()
         db = self.db
+        if hp is not None:
+            host_io_start = self._host_io_counters(db)
+            hp.push("run")
+            hp.push("setup")
         # A mutated topology (dynamic updates, compaction) invalidates
         # the large-page run index built at construction time.
         version = getattr(db, "topology_version", 0)
@@ -391,7 +442,7 @@ class GTSEngine:
             # Built once per topology version (one pass over the pages
             # plus one global scatter argsort); every later round gathers
             # flat array views from it.
-            plan_arrays = self._plan_cache.get(db)
+            plan_arrays = self._plan_cache.get(db, host_profiler=hp)
             copy_bytes_all = plan_arrays.copy_bytes(
                 kernel.ra_bytes_per_vertex)
 
@@ -403,9 +454,12 @@ class GTSEngine:
 
         # Step 1: copy WA chunks to the GPUs.
         wa_ready = self.strategy.book_wa_broadcast(runtime, wa_total)
+        if hp is not None:
+            hp.pop()  # setup
 
         rounds = []
-        scheduler = StreamScheduler(runtime, fault_injector=injector)
+        scheduler = StreamScheduler(runtime, fault_injector=injector,
+                                    host_profiler=hp)
         total_edges = 0
         fetch_ready = {}
         full_assignments = None
@@ -413,7 +467,14 @@ class GTSEngine:
 
         round_index = 0
         while True:
-            plan = kernel.next_round(state)
+            if hp is not None:
+                hp.push("frontier")
+                plan = kernel.next_round(state)
+                hp.pop()
+                if plan is not None:
+                    hp.push("round")
+            else:
+                plan = kernel.next_round(state)
             if plan is None:
                 break
             if isinstance(plan.pids, str) and plan.pids == ALL_PAGES:
@@ -428,7 +489,7 @@ class GTSEngine:
             fetch_ready.clear()
             round_start = runtime.now
             fetch = self._make_fetch(runtime, fetch_ready, round_start,
-                                     stats)
+                                     stats, host_profiler=hp)
             if injector is not None:
                 injector.begin_round(round_index)
                 if injector.plan.gpu_loss and self._absorb_gpu_losses(
@@ -465,8 +526,16 @@ class GTSEngine:
                     recorder.instant("fallback", "engine", "rounds",
                                      round_start, round=round_index)
             if run_batched:
-                batch = plan_arrays.round_batch(pids_round)
-                work = kernel.process_batch(batch, state, ctx)
+                if hp is not None:
+                    hp.push("gather")
+                    batch = plan_arrays.round_batch(pids_round)
+                    hp.pop()
+                    hp.push("kernel")
+                    work = kernel.process_batch(batch, state, ctx)
+                    hp.pop()
+                else:
+                    batch = plan_arrays.round_batch(pids_round)
+                    work = kernel.process_batch(batch, state, ctx)
                 stats.pages_dispatched += batch.num_pages
                 round_edges = int(work.edges_traversed.sum())
                 stats.edges_traversed += round_edges
@@ -483,7 +552,12 @@ class GTSEngine:
                 for i, pid in enumerate(pids_round):
                     pid = int(pid)
                     page = db.page(pid)
-                    work = kernel.process_page(page, state, ctx)
+                    if hp is not None:
+                        hp.push("kernel")
+                        work = kernel.process_page(page, state, ctx)
+                        hp.pop()
+                    else:
+                        work = kernel.process_page(page, state, ctx)
                     stats.pages_dispatched += 1
                     stats.edges_traversed += work.edges_traversed
                     stats.active_vertices += work.active_vertices
@@ -516,6 +590,8 @@ class GTSEngine:
                             caches[g].admit(pid, ts=earliest)
 
             # Lines 27-30: barrier, WA sync, nextPIDSet merge.
+            if hp is not None:
+                hp.push("sync")
             barrier = max(gpu.done_at() for gpu in runtime.gpus)
             sync_end = self.strategy.book_sync(
                 runtime, wa_total, barrier,
@@ -528,6 +604,8 @@ class GTSEngine:
                 merged = (np.unique(np.concatenate(next_pid_chunks))
                           if next_pid_chunks else np.empty(0, dtype=np.int64))
             kernel.finish_round(state, merged)
+            if hp is not None:
+                hp.pop()  # sync
             stats.end_time = runtime.now
             if recorder is not None:
                 recorder.instant(
@@ -542,7 +620,11 @@ class GTSEngine:
                     bytes=stats.bytes_streamed)
             rounds.append(stats)
             round_index += 1
+            if hp is not None:
+                hp.pop()  # round
 
+        if hp is not None:
+            hp.push("finalize")
         values = kernel.results(state)
         fault_stats = None
         if injector is not None:
@@ -565,6 +647,29 @@ class GTSEngine:
                 render_gpu_timeline(gpu, 0.0, runtime.now)
                 for gpu in runtime.gpus)
         wall = _time.perf_counter() - wall_start
+        host_profile = None
+        if hp is not None:
+            hp.pop()  # finalize
+            hp.pop()  # run
+            io_now = self._host_io_counters(db)
+            hp.add_counter("io.file_bytes_read",
+                           io_now[0] - host_io_start[0])
+            hp.add_counter("io.file_reads",
+                           io_now[1] - host_io_start[1])
+            hp.add_counter("io.file_adjacent_reads",
+                           io_now[2] - host_io_start[2])
+            if runtime.storage is not None:
+                hp.add_counter("io.sim_pages_fetched",
+                               runtime.storage.pages_fetched)
+                hp.add_counter("io.sim_bytes_read",
+                               runtime.storage.bytes_read)
+                hp.add_counter("io.sim_adjacent_fetches",
+                               runtime.storage.adjacent_fetches)
+            # An engine-created profiler is finished here (releasing
+            # tracemalloc); an externally-owned one is snapshotted
+            # non-destructively so its owner can keep measuring.
+            host_profile = (hp.finish() if owns_profiler
+                            else hp.profile())
         return RunResult(
             algorithm=kernel.name,
             dataset=dataset_name or db.name,
@@ -605,6 +710,7 @@ class GTSEngine:
             timeline=timeline,
             trace=recorder,
             fault_stats=fault_stats,
+            host_profile=host_profile,
         )
 
     # ------------------------------------------------------------------
@@ -627,20 +733,23 @@ class GTSEngine:
         fetch_ready[pid] = ready
         return ready
 
-    def _make_fetch(self, runtime, fetch_ready, round_start, stats):
+    def _make_fetch(self, runtime, fetch_ready, round_start, stats,
+                    host_profiler=None):
         """Build one round's ``fetch(pid) -> ready time`` closure.
 
         Untraced runs with the default pinned MM buffer get an inlined
         variant of :meth:`_fetch` — the same lookups, channel bookings
         and counters without the per-page method-call chain, so a round
         that misses the buffer thousands of times does not pay Python
-        dispatch for every miss.  Traced, LRU-buffered or
-        fault-injected runs (and machines without storage) use the
+        dispatch for every miss.  Traced, LRU-buffered, fault-injected
+        or host-profiled runs (and machines without storage) use the
         generic method, whose :meth:`StorageArray.fetch` call is where
-        SSD fault injection lives.
+        SSD fault injection and adjacent-fetch accounting live.  Both
+        variants book identical simulated times.
         """
         if (runtime.recorder is not None or runtime.storage is None
                 or runtime.storage.fault_injector is not None
+                or host_profiler is not None
                 or runtime.mm_buffer.policy != "pin"):
             return lambda pid: self._fetch(runtime, fetch_ready, pid,
                                            round_start, stats)

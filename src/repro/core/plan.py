@@ -171,10 +171,12 @@ def segment_sum(values, indptr, dtype=np.int64):
 class PagePlan:
     """Flat page-major arrays for one topology snapshot of a database."""
 
-    def __init__(self, db):
+    def __init__(self, db, host_profiler=None):
         self.topology_version = getattr(db, "topology_version", 0)
         self.num_pages = db.num_pages
         self.page_size = db.page_bytes()
+        if host_profiler is not None:
+            host_profiler.push("plan_scan")
         #: Directory record counts drive RA-subvector sizing (must match
         #: ``db.ra_subvector_bytes`` exactly, which reads the directory,
         #: not the served page).
@@ -233,7 +235,13 @@ class PagePlan:
             ]).astype(np.float32, copy=False)
         else:
             self.adj_weights = None
-        self._build_scatter(db)
+        if host_profiler is not None:
+            host_profiler.pop()  # plan_scan
+            host_profiler.push("plan_scatter")
+            self._build_scatter(db)
+            host_profiler.pop()
+        else:
+            self._build_scatter(db)
         self._full_batch = None
         self._copy_bytes = {}
 
@@ -414,13 +422,20 @@ class RoundPlanCache:
         self.builds = 0
         self.hits = 0
 
-    def get(self, db):
+    def get(self, db, host_profiler=None):
         version = getattr(db, "topology_version", 0)
         plan = self._plan
         if plan is not None and plan.topology_version == version:
             self.hits += 1
             return plan
-        plan = PagePlan(db)
+        if host_profiler is not None:
+            host_profiler.push("plan")
+            try:
+                plan = PagePlan(db, host_profiler=host_profiler)
+            finally:
+                host_profiler.pop()
+        else:
+            plan = PagePlan(db)
         self._plan = plan
         self.builds += 1
         return plan

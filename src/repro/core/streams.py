@@ -29,9 +29,10 @@ class StreamScheduler:
         fast path untouched.
     """
 
-    def __init__(self, runtime, fault_injector=None):
+    def __init__(self, runtime, fault_injector=None, host_profiler=None):
         self.runtime = runtime
         self.fault_injector = fault_injector
+        self.host_profiler = host_profiler
         self._dispatch_count = [0] * runtime.num_gpus
 
     def _next_slot(self, gpu):
@@ -152,6 +153,23 @@ class StreamScheduler:
         MM buffer, storage channels) books the same intervals and the
         simulated clock comes out bit-identical.
         """
+        if self.host_profiler is not None:
+            self.host_profiler.push("dispatch")
+            try:
+                return self._dispatch_round(
+                    page_ids, assignments, copy_bytes, lane_steps,
+                    cycles_per_lane_step, caches, wa_ready, round_start,
+                    fetch, stats)
+            finally:
+                self.host_profiler.pop()
+        return self._dispatch_round(
+            page_ids, assignments, copy_bytes, lane_steps,
+            cycles_per_lane_step, caches, wa_ready, round_start, fetch,
+            stats)
+
+    def _dispatch_round(self, page_ids, assignments, copy_bytes,
+                        lane_steps, cycles_per_lane_step, caches,
+                        wa_ready, round_start, fetch, stats):
         runtime = self.runtime
         num_gpus = runtime.num_gpus
         earliest = [max(round_start, wa_ready[g]) for g in range(num_gpus)]

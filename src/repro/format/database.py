@@ -64,6 +64,10 @@ class GraphDatabase:
         self._scatter_cache = {}
         self.scatter_hits = 0
         self.scatter_misses = 0
+        #: Optional :class:`~repro.obs.host.HostProfiler` attached by
+        #: the engine for the duration of a profiled run; ``None``
+        #: keeps the page/scatter hot paths free of profiling work.
+        self.host_profiler = None
 
     # ------------------------------------------------------------------
     # Page access
@@ -114,7 +118,15 @@ class GraphDatabase:
             self.scatter_hits += 1
             return cached[1]
         self.scatter_misses += 1
-        index = sorted_scatter_index(page.adj_vids)
+        # Profiling hooks live on the miss path only: cache hits stay a
+        # dict probe regardless of profiling.
+        hp = self.host_profiler
+        if hp is not None:
+            hp.push("scatter_build")
+            index = sorted_scatter_index(page.adj_vids)
+            hp.pop()
+        else:
+            index = sorted_scatter_index(page.adj_vids)
         self._scatter_cache[page.page_id] = (self.topology_version, index)
         return index
 

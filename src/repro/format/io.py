@@ -183,12 +183,24 @@ def _verify_page_bytes(data, page_id, expected_crc, source):
             actual_crc=actual)
 
 
-def load_database(prefix):
-    """Load a database previously written by :func:`save_database`."""
+def load_database(prefix, host_profiler=None):
+    """Load a database previously written by :func:`save_database`.
+
+    ``host_profiler`` is an optional
+    :class:`~repro.obs.host.HostProfiler`; when given, the metadata
+    parse and the page deserialization loop report as nested
+    ``load/...`` phases (``None``, the default, records nothing).
+    """
+    hp = host_profiler
     meta_path = prefix + ".meta.json"
     pages_path = prefix + ".pages"
+    if hp is not None:
+        hp.push("load")
+        hp.push("load_meta")
     with open(meta_path) as handle:
         metadata = json.load(handle)
+    if hp is not None:
+        hp.pop()
     if metadata.get("version") != FORMAT_VERSION:
         raise FormatError(
             "%s: unsupported database version %r"
@@ -208,6 +220,8 @@ def load_database(prefix):
         raise FormatError(
             "%s: expected %d bytes of pages, found %d"
             % (pages_path, expected, actual))
+    if hp is not None:
+        hp.push("load_pages")
     with open(pages_path, "rb") as handle:
         for record in metadata["directory"]:
             entry = PageDirectoryEntry(**record)
@@ -228,6 +242,8 @@ def load_database(prefix):
             # serialized form stores only physical IDs).
             page.adj_vids = rvt.translate(page.adj_pids, page.adj_slots)
             pages.append(page)
+    if hp is not None:
+        hp.pop()  # load_pages
 
     db = GraphDatabase(
         pages=pages,
@@ -241,7 +257,13 @@ def load_database(prefix):
         name=metadata["name"],
     )
     db.wal_epoch = metadata.get("wal_epoch", 0)
-    db.validate()
+    if hp is not None:
+        hp.push("load_validate")
+        db.validate()
+        hp.pop()
+        hp.pop()  # load
+    else:
+        db.validate()
     return db
 
 
@@ -310,6 +332,15 @@ class FileBackedDatabase(GraphDatabase):
         self.fault_injector = None
         #: Host reads that failed verification and were re-read clean.
         self.integrity_retries = 0
+        #: Real-I/O accounting (always on — three integer updates per
+        #: actual file read): bytes read, reads issued, and reads whose
+        #: page immediately follows the previous one (adjacent-read
+        #: opportunities — the sequential-access baseline for a future
+        #: mmap/readahead store).
+        self.host_bytes_read = 0
+        self.host_reads = 0
+        self.host_adjacent_reads = 0
+        self._last_read_pid = -2
 
     # ------------------------------------------------------------------
     def attach_fault_injector(self, injector):
@@ -339,7 +370,15 @@ class FileBackedDatabase(GraphDatabase):
             self.pool_hits += 1
             return self._pool[page_id]
         self.pool_misses += 1
-        page = self._parse_page(page_id)
+        # The profiling hook sits on the miss path only; pool hits stay
+        # a dict probe + move_to_end no matter what.
+        hp = self.host_profiler
+        if hp is not None:
+            hp.push("page_parse")
+            page = self._parse_page(page_id)
+            hp.pop()
+        else:
+            page = self._parse_page(page_id)
         while len(self._pool) >= self._pool_pages:
             self._pool.popitem(last=False)
         self._pool[page_id] = page
@@ -350,6 +389,11 @@ class FileBackedDatabase(GraphDatabase):
         with open(self._pages_path, "rb") as handle:
             handle.seek(page_id * self.config.page_size)
             data = handle.read(self.config.page_size)
+        self.host_bytes_read += len(data)
+        self.host_reads += 1
+        if page_id == self._last_read_pid + 1:
+            self.host_adjacent_reads += 1
+        self._last_read_pid = page_id
         injector = self.fault_injector
         if injector is not None and injector.host_read_corrupt(page_id):
             data = bytes([data[0] ^ 0xFF]) + data[1:]

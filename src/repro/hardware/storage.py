@@ -44,6 +44,13 @@ class StorageArray:
         self.fault_injector = None
         self.bytes_read = 0
         self.pages_fetched = 0
+        #: Fetches whose page immediately follows the previous fetch on
+        #: the same device — the adjacent-read opportunities a
+        #: sequential/readahead store could coalesce.  Counted on the
+        #: generic fetch path (traced, fault-injected or host-profiled
+        #: runs); the engine's inlined bulk replay bypasses it.
+        self.adjacent_fetches = 0
+        self._last_fetch_pid = [None] * len(self.specs)
         #: Per-device fault bookkeeping (parallel to ``specs``).
         self.fetch_retries = [0] * len(self.specs)
         self.faults_injected = [0] * len(self.specs)
@@ -71,6 +78,16 @@ class StorageArray:
                 % (num_bytes, capacity),
                 required_bytes=num_bytes, available_bytes=capacity)
 
+    def _note_fetch(self, device, page_id):
+        """Adjacent-read accounting: a fetch whose page is the next one
+        in the device's stripe order could have been coalesced into the
+        previous read by a sequential/readahead store."""
+        last = self._last_fetch_pid[device]
+        stride = len(self.specs) if self.default_striping else 1
+        if last is not None and page_id == last + stride:
+            self.adjacent_fetches += 1
+        self._last_fetch_pid[device] = page_id
+
     def fetch(self, page_id, num_bytes, earliest):
         """Book a page read; returns ``(start, end)`` simulated times."""
         if num_bytes < 0:
@@ -85,6 +102,7 @@ class StorageArray:
         start, end = self.channels[device].book(earliest, duration)
         self.bytes_read += num_bytes
         self.pages_fetched += 1
+        self._note_fetch(device, page_id)
         if self.recorder is not None:
             self.recorder.interval(
                 "ssd_fetch", "storage", self.specs[device].name,
@@ -124,6 +142,7 @@ class StorageArray:
             if outcome is READ_OK:
                 self.bytes_read += num_bytes
                 self.pages_fetched += 1
+                self._note_fetch(device, page_id)
                 if self.recorder is not None:
                     self.recorder.interval(
                         "ssd_fetch", "storage", name, start, end,
@@ -160,5 +179,7 @@ class StorageArray:
             channel.reset()
         self.bytes_read = 0
         self.pages_fetched = 0
+        self.adjacent_fetches = 0
+        self._last_fetch_pid = [None] * len(self.specs)
         self.fetch_retries = [0] * len(self.specs)
         self.faults_injected = [0] * len(self.specs)

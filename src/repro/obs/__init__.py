@@ -23,9 +23,15 @@ Three layers over one event stream:
   (improved/unchanged/regressed) and the append-only, schema-versioned
   ``BENCH_history.jsonl`` benchmark trajectory the CI regression gate
   diffs against.
+* :mod:`repro.obs.host` — the *host-runtime* profiler: phase-scoped
+  wall-clock spans, tracemalloc accounting and real I/O counters over
+  the process's own clock (everything else in ``repro.obs`` measures
+  the *simulated* machine).  Exports collapsed-stack flamegraphs and
+  ``host/*`` lanes merged into the Chrome trace.
 
 Observability is pay-for-use: with ``tracing=False`` nothing is
-recorded and the dispatch hot path takes no measurable overhead.
+recorded and the dispatch hot path takes no measurable overhead; the
+same holds for ``host_profile=False``.
 """
 
 from repro.obs.analyze import (
@@ -80,6 +86,17 @@ from repro.obs.exporters import (
     recorder_from_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.host import (
+    HostPhase,
+    HostProfile,
+    HostProfiler,
+    collect_host_metrics,
+    host_chrome_trace,
+    load_host_profile,
+    merge_host_lanes,
+    write_flamegraph,
+    write_host_profile,
 )
 from repro.obs.history import (
     append_history,
@@ -158,4 +175,13 @@ __all__ = [
     "CostModelDrift",
     "cost_model_drift",
     "record_drift",
+    "HostPhase",
+    "HostProfile",
+    "HostProfiler",
+    "collect_host_metrics",
+    "host_chrome_trace",
+    "load_host_profile",
+    "merge_host_lanes",
+    "write_flamegraph",
+    "write_host_profile",
 ]

@@ -70,12 +70,17 @@ def append_history(path, benchmark, metrics, meta=None,
 def load_history(path, benchmark=None) -> List[Dict]:
     """Read the log; returns records in file (chronological) order.
 
-    Raises :class:`~repro.errors.ConfigurationError` on unparsable
-    lines, missing record fields, or a schema version newer than this
-    reader — a truncated or hand-mangled history should fail the gate
-    loudly, not silently compare against garbage.
+    A missing log is not an error — it is simply an empty history (the
+    first run of a fresh checkout or CI job), so ``[]`` comes back and
+    callers treat it like any other no-baseline case: append, don't
+    fail.  Raises :class:`~repro.errors.ConfigurationError` on
+    unparsable lines, missing record fields, or a schema version newer
+    than this reader — a truncated or hand-mangled history should fail
+    the gate loudly, not silently compare against garbage.
     """
     records = []
+    if not os.path.exists(path):
+        return records
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()

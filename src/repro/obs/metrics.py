@@ -317,6 +317,11 @@ def collect_run_metrics(result, registry=None):
         latency.observe(stats.elapsed)
         round_bytes.observe(stats.bytes_streamed)
         round_pages.observe(stats.pages_dispatched)
+
+    if result.host_profile is not None:
+        from repro.obs.host import collect_host_metrics
+
+        collect_host_metrics(result.host_profile, registry)
     return registry
 
 

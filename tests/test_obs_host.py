@@ -1,0 +1,524 @@
+"""Host-runtime profiling layer (:mod:`repro.obs.host`).
+
+Covers the profiler's span algebra (nesting, conservation, dangling
+spans), the engine integration (phase tree, coverage, bit-identical
+simulated results, I/O counters), the pay-for-use guarantee of the
+disabled path (structurally zero profiler work — the wall-clock <1%
+gate lives in ``benchmarks/bench_host_profile.py`` where repeats make
+it stable), byte-determinism of the exporters, gating host profiles
+under the default tolerance rules, and the no-baseline behaviour of the
+history loader.
+"""
+
+import json
+import os
+import sys
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro.obs.host as host_module
+from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.errors import ConfigurationError
+from repro.format.io import load_database, save_database
+from repro.obs import compare_metrics, validate_chrome_trace
+from repro.obs.host import (
+    HostPhase,
+    HostProfile,
+    HostProfiler,
+    host_chrome_trace,
+    load_host_profile,
+    merge_host_lanes,
+    write_flamegraph,
+    write_host_profile,
+)
+
+
+def _assert_conservation(profile):
+    """Every parent's inclusive time covers the sum of its children."""
+    by_path = {p.path: p for p in profile.phases}
+    child_sums = {}
+    for p in profile.phases:
+        if "/" in p.path:
+            parent = p.path.rsplit("/", 1)[0]
+            child_sums[parent] = child_sums.get(parent, 0.0) + p.seconds
+    for parent, total in child_sums.items():
+        assert parent in by_path, "orphan phase under %r" % parent
+        # Tiny float slack: seconds are ns-accurate but summed floats.
+        assert total <= by_path[parent].seconds + 1e-9, (
+            "children of %r (%fs) exceed parent (%fs)"
+            % (parent, total, by_path[parent].seconds))
+
+
+class TestHostProfiler:
+    def test_nested_paths_and_counts(self):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("a"):
+            with hp.phase("b"):
+                pass
+            with hp.phase("b"):
+                pass
+        profile = hp.finish()
+        paths = [p.path for p in profile.phases]
+        assert paths == ["a", "a/b"]
+        assert profile.phase("a").count == 1
+        assert profile.phase("a/b").count == 2
+        assert profile.phase("a/b").name == "b"
+        assert profile.phase("a").depth == 1
+        assert profile.phase("a/b").depth == 2
+
+    def test_conservation_child_within_parent(self):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("outer"):
+            for _ in range(5):
+                with hp.phase("inner"):
+                    sum(range(200))
+        _assert_conservation(hp.finish())
+
+    def test_self_seconds_subtract_children(self):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("outer"):
+            with hp.phase("inner"):
+                pass
+        profile = hp.finish()
+        outer = profile.phase("outer")
+        inner = profile.phase("outer/inner")
+        assert outer.self_seconds == pytest.approx(
+            outer.seconds - inner.seconds, abs=1e-12)
+        assert outer.self_seconds >= 0.0
+
+    def test_finish_closes_dangling_spans(self):
+        hp = HostProfiler(track_memory=False)
+        hp.push("a")
+        hp.push("b")
+        assert hp.depth == 2
+        profile = hp.finish()
+        assert hp.depth == 0
+        assert [p.path for p in profile.phases] == ["a", "a/b"]
+
+    def test_counters_accumulate(self):
+        hp = HostProfiler(track_memory=False)
+        hp.add_counter("io.bytes", 10)
+        hp.add_counter("io.bytes", 5)
+        assert hp.finish().counters == {"io.bytes": 15}
+
+    def test_event_cap_counts_drops(self):
+        hp = HostProfiler(track_memory=False, max_events=2)
+        for _ in range(5):
+            with hp.phase("x"):
+                pass
+        profile = hp.finish()
+        assert len(profile.events) == 2
+        assert profile.dropped_events == 3
+        assert profile.phase("x").count == 5  # stats are never dropped
+
+    def test_sample_cap_keeps_totals(self):
+        hp = HostProfiler(track_memory=False, max_samples_per_phase=2)
+        for _ in range(4):
+            with hp.phase("x"):
+                pass
+        phase = hp.finish().phase("x")
+        assert phase.count == 4
+        assert phase.p50_seconds is not None
+
+    def test_memory_tracking_off_reports_none(self):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("a"):
+            pass
+        profile = hp.finish()
+        assert profile.tracemalloc_peak_bytes is None
+        assert profile.phase("a").net_alloc_bytes is None
+
+    def test_memory_tracking_on_reports_peak(self):
+        hp = HostProfiler()
+        with hp.phase("alloc"):
+            blob = np.zeros(1 << 16, dtype=np.uint8)  # noqa: F841
+        profile = hp.finish()
+        assert profile.tracemalloc_peak_bytes is not None
+        assert profile.tracemalloc_peak_bytes > 0
+        assert profile.phase("alloc").net_alloc_bytes is not None
+
+    def test_does_not_stop_foreign_tracemalloc(self):
+        already = tracemalloc.is_tracing()
+        tracemalloc.start()
+        try:
+            HostProfiler().finish()
+            assert tracemalloc.is_tracing()
+        finally:
+            if not already:
+                tracemalloc.stop()
+
+    def test_profile_snapshot_is_non_destructive(self):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("first"):
+            pass
+        snap = hp.profile()
+        assert snap.phase("first") is not None
+        with hp.phase("second"):
+            pass
+        final = hp.finish()
+        assert [p.path for p in final.phases] == ["first", "second"]
+
+    def test_coverage_of_top_level_phases(self):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("everything"):
+            sum(range(50_000))
+        profile = hp.finish()
+        assert 0.9 <= profile.coverage() <= 1.0
+
+
+class TestEngineIntegration:
+    def test_disabled_by_default(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(BFSKernel(0))
+        assert result.host_profile is None
+
+    def test_profiled_run_has_phase_tree(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine, host_profile=True).run(
+            PageRankKernel(iterations=3))
+        profile = result.host_profile
+        assert profile is not None
+        paths = {p.path for p in profile.phases}
+        assert {"run", "run/setup", "run/round", "run/round/kernel",
+                "run/round/dispatch", "run/finalize"} <= paths
+        assert profile.phase("run").count == 1
+        assert profile.phase("run/round").count == result.num_rounds
+        _assert_conservation(profile)
+
+    def test_coverage_meets_bar(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine, host_profile=True).run(
+            PageRankKernel(iterations=3))
+        assert result.host_profile.coverage() >= 0.8
+
+    @pytest.mark.parametrize("execution", ["paged", "batched"])
+    def test_profiling_does_not_change_simulation(self, rmat_db, machine,
+                                                  execution):
+        plain = GTSEngine(rmat_db, machine, execution=execution).run(
+            PageRankKernel(iterations=3))
+        profiled = GTSEngine(rmat_db, machine, execution=execution,
+                             host_profile=True).run(
+            PageRankKernel(iterations=3))
+        assert plain.elapsed_seconds == profiled.elapsed_seconds
+        assert np.array_equal(plain.values["rank"],
+                              profiled.values["rank"])
+
+    def test_external_profiler_spans_load_and_run(self, rmat_db, machine):
+        hp = HostProfiler(track_memory=False)
+        with hp.phase("load"):
+            pass
+        result = GTSEngine(rmat_db, machine, host_profile=hp).run(
+            BFSKernel(0))
+        profile = result.host_profile
+        assert profile.phase("load") is not None
+        assert profile.phase("run") is not None
+        # Snapshot is non-destructive: the owner keeps measuring.
+        with hp.phase("after"):
+            pass
+        assert hp.finish().phase("after") is not None
+
+    def test_profiler_detached_after_run(self, rmat_db, machine):
+        GTSEngine(rmat_db, machine, host_profile=True).run(BFSKernel(0))
+        assert rmat_db.host_profiler is None
+
+    def test_sim_io_counters(self, rmat_db, machine):
+        result = GTSEngine(
+            rmat_db, machine, host_profile=True,
+            mm_buffer_bytes=2 * rmat_db.config.page_size,
+        ).run(PageRankKernel(iterations=2))
+        counters = result.host_profile.counters
+        assert counters["io.sim_pages_fetched"] > 0
+        assert counters["io.sim_bytes_read"] == result.storage_bytes_read
+        assert counters["io.sim_adjacent_fetches"] >= 0
+
+    def test_file_backed_io_counters(self, rmat_db, machine, tmp_path):
+        from repro.format.io import FileBackedDatabase
+        prefix = str(tmp_path / "g")
+        save_database(rmat_db, prefix)
+        db = FileBackedDatabase(prefix)
+        result = GTSEngine(db, machine, host_profile=True).run(
+            BFSKernel(0))
+        counters = result.host_profile.counters
+        assert counters["io.file_reads"] > 0
+        assert counters["io.file_bytes_read"] >= (
+            counters["io.file_reads"] * db.config.page_size)
+        paths = {p.path for p in result.host_profile.phases}
+        assert any(p.endswith("page_parse") for p in paths)
+
+    def test_load_database_spans(self, rmat_db, tmp_path):
+        prefix = str(tmp_path / "g")
+        save_database(rmat_db, prefix)
+        hp = HostProfiler(track_memory=False)
+        load_database(prefix, host_profiler=hp)
+        profile = hp.finish()
+        paths = {p.path for p in profile.phases}
+        assert {"load", "load/load_meta", "load/load_pages"} <= paths
+        _assert_conservation(profile)
+
+
+class TestDisabledPathIsFree:
+    """The structural overhead guard: a disabled run must never import
+    the profiler module, construct a profiler, or read the host clock.
+    (The <1% wall-clock gate runs in ``bench_host_profile.py`` where
+    warm repeats keep it stable.)"""
+
+    def test_disabled_run_never_imports_host_module(self, rmat_db,
+                                                    machine):
+        saved = sys.modules.pop("repro.obs.host", None)
+        try:
+            result = GTSEngine(rmat_db, machine).run(BFSKernel(0))
+            assert "repro.obs.host" not in sys.modules
+            assert result.host_profile is None
+        finally:
+            if saved is not None:
+                sys.modules["repro.obs.host"] = saved
+
+    def test_disabled_run_survives_broken_profiler(self, rmat_db,
+                                                   machine, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("disabled run constructed a profiler")
+
+        monkeypatch.setattr(host_module, "HostProfiler", boom)
+        result = GTSEngine(rmat_db, machine).run(BFSKernel(0))
+        assert result.host_profile is None
+
+    def test_host_clock_reads(self, rmat_db, machine, monkeypatch):
+        calls = [0]
+        real = host_module.perf_counter_ns
+
+        def counting():
+            calls[0] += 1
+            return real()
+
+        monkeypatch.setattr(host_module, "perf_counter_ns", counting)
+        GTSEngine(rmat_db, machine).run(BFSKernel(0))
+        assert calls[0] == 0, "disabled run read the host clock"
+        GTSEngine(rmat_db, machine, host_profile=True).run(BFSKernel(0))
+        assert calls[0] > 0
+
+
+def _frozen_profile():
+    """A deterministic hand-built profile for exporter tests."""
+    return HostProfile(
+        wall_seconds=2.0,
+        phases=[
+            HostPhase("run", 1, 1.5, 0.5, 1, 1.5, 1.5, 1024),
+            HostPhase("run/kernel", 2, 1.0, 1.0, 4, 0.25, 0.4, -16),
+            HostPhase("load", 1, 0.4, 0.4, 1, 0.4, 0.4, 2048),
+        ],
+        counters={"io.file_reads": 7, "io.file_bytes_read": 14336},
+        tracemalloc_peak_bytes=1 << 20,
+        events=[("run", 0, 1_500_000_000),
+                ("run/kernel", 100, 250_000_000)],
+        dropped_events=0)
+
+
+class TestExporters:
+    def test_flamegraph_is_byte_deterministic(self):
+        a, b = _frozen_profile(), _frozen_profile()
+        assert a.flamegraph() == b.flamegraph()
+        lines = a.flamegraph().splitlines()
+        assert "run;kernel 1000000" in lines
+        assert "load 400000" in lines
+        assert a.flamegraph().endswith("\n")
+
+    def test_flamegraph_sorted_by_path(self):
+        lines = _frozen_profile().flamegraph().splitlines()
+        stacks = [line.rsplit(" ", 1)[0] for line in lines]
+        assert stacks == sorted(stacks)
+
+    def test_to_dict_roundtrip(self):
+        original = _frozen_profile()
+        payload = original.to_dict(include_events=True)
+        restored = HostProfile.from_dict(payload)
+        assert restored.to_dict(include_events=True) == payload
+
+    def test_to_dict_carries_flat_metrics(self):
+        payload = _frozen_profile().to_dict()
+        assert payload["metrics"]["host.wall_seconds"] == 2.0
+        assert payload["metrics"]["host.phase.run/kernel.seconds"] == 1.0
+        assert payload["metrics"]["host.io.file_reads"] == 7.0
+
+    def test_from_dict_rejects_wrong_kind(self):
+        with pytest.raises(ConfigurationError):
+            HostProfile.from_dict({"kind": "something-else"})
+
+    def test_from_dict_rejects_newer_schema(self):
+        payload = _frozen_profile().to_dict()
+        payload["schema"] = 999
+        with pytest.raises(ConfigurationError):
+            HostProfile.from_dict(payload)
+
+    def test_written_artifacts_are_byte_identical(self, tmp_path):
+        profile = _frozen_profile()
+        flame_a = tmp_path / "a.txt"
+        flame_b = tmp_path / "b.txt"
+        write_flamegraph(profile, str(flame_a))
+        write_flamegraph(profile, str(flame_b))
+        assert flame_a.read_bytes() == flame_b.read_bytes()
+        json_a = tmp_path / "a.json"
+        json_b = tmp_path / "b.json"
+        write_host_profile(profile, str(json_a))
+        write_host_profile(profile, str(json_b))
+        assert json_a.read_bytes() == json_b.read_bytes()
+
+    def test_load_host_profile_roundtrip(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        write_host_profile(_frozen_profile(), path)
+        assert (load_host_profile(path).to_dict()
+                == _frozen_profile().to_dict())
+
+    def test_chrome_trace_is_deterministic_and_valid(self):
+        profile = _frozen_profile()
+        trace_a = host_chrome_trace(profile)
+        trace_b = host_chrome_trace(profile)
+        assert (json.dumps(trace_a, sort_keys=True)
+                == json.dumps(trace_b, sort_keys=True))
+        validate_chrome_trace(trace_a)
+        names = {event.get("args", {}).get("name")
+                 for event in trace_a["traceEvents"]
+                 if event.get("name") == "process_name"}
+        assert "host/profile" in names
+
+    def test_merge_leaves_recorder_untouched(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine, tracing=True,
+                           host_profile=True).run(BFSKernel(0))
+        before = len(list(result.trace))
+        merged = merge_host_lanes(result.trace, result.host_profile)
+        assert len(list(result.trace)) == before
+        merged_events = list(merged)
+        assert len(merged_events) > before
+        assert any(event.process == "host/profile"
+                   for event in merged_events)
+        validate_chrome_trace(host_chrome_trace(
+            result.host_profile, recorder=result.trace))
+
+
+class TestGating:
+    def test_identical_profiles_are_unchanged(self):
+        report = compare_metrics(_frozen_profile().to_dict(),
+                                 _frozen_profile().to_dict())
+        assert report.verdict == "unchanged"
+
+    def test_doubled_phase_time_regresses(self):
+        before = _frozen_profile()
+        after = HostProfile(
+            wall_seconds=4.0,
+            phases=[
+                HostPhase("run", 1, 3.5, 2.5, 1, 3.5, 3.5, 1024),
+                HostPhase("run/kernel", 2, 1.0, 1.0, 4, 0.25, 0.4, -16),
+                HostPhase("load", 1, 0.4, 0.4, 1, 0.4, 0.4, 2048),
+            ],
+            counters=dict(before.counters),
+            tracemalloc_peak_bytes=1 << 20)
+        report = compare_metrics(before.to_dict(), after.to_dict())
+        assert report.verdict == "regressed"
+        regressed = {delta.name for delta in report.regressions()}
+        assert "host.wall_seconds" in regressed
+        assert "host.phase.run.seconds" in regressed
+
+    def test_memory_spike_regresses(self):
+        before = _frozen_profile()
+        after_payload = before.to_dict()
+        after_payload["metrics"] = dict(after_payload["metrics"])
+        after_payload["metrics"]["host.tracemalloc_peak_bytes"] = float(
+            8 << 20)
+        report = compare_metrics(before.to_dict(), after_payload)
+        assert "host.tracemalloc_peak_bytes" in {
+            delta.name for delta in report.regressions()}
+
+    def test_collect_run_metrics_includes_host(self, rmat_db, machine):
+        from repro.obs import collect_run_metrics
+        result = GTSEngine(rmat_db, machine, host_profile=True).run(
+            BFSKernel(0))
+        registry = collect_run_metrics(result)
+        assert "host.wall_seconds" in registry
+        assert "host.coverage" in registry
+        assert "host.phase.run.seconds" in registry
+
+
+class TestHistoryNoBaseline:
+    def test_load_history_missing_file_is_empty(self, tmp_path):
+        from repro.obs.history import load_history
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_compare_to_baseline_missing_file(self, tmp_path):
+        from repro.obs.history import compare_to_baseline
+        report, baseline = compare_to_baseline(
+            str(tmp_path / "nope.jsonl"), "bench", {"metrics": {"x": 1}})
+        assert report is None and baseline is None
+
+    def test_empty_file_is_empty_history(self, tmp_path):
+        from repro.obs.history import load_history
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_history(str(path)) == []
+
+    def test_cli_history_missing_file_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+        code = main(["obs", "history", "--path",
+                     str(tmp_path / "nope.jsonl")])
+        assert code == 0
+        assert "no history records" in capsys.readouterr().out
+
+    def test_cli_compare_missing_history_exits_zero(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+        artifact = tmp_path / "current.json"
+        artifact.write_text(json.dumps({"metrics": {"x": 1.0}}))
+        code = main(["obs", "compare", "--history",
+                     str(tmp_path / "nope.jsonl"),
+                     "--benchmark", "bench", str(artifact)])
+        assert code == 0
+        assert "no matching" in capsys.readouterr().out
+
+
+class TestCLIHostProfile:
+    @pytest.fixture()
+    def edges_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("".join("%d %d\n" % (i, i + 1)
+                                for i in range(64)))
+        return str(path)
+
+    def test_run_writes_host_artifacts(self, edges_file, tmp_path,
+                                       capsys):
+        from repro.cli import main
+        flame = tmp_path / "flame.txt"
+        profile_json = tmp_path / "host.json"
+        trace = tmp_path / "trace.json"
+        code = main(["run", "--edges", edges_file, "--algorithm", "bfs",
+                     "--host-profile", "--flamegraph", str(flame),
+                     "--host-profile-out", str(profile_json),
+                     "--trace-out", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "host profile:" in out
+        text = flame.read_text()
+        assert text.splitlines() and text.endswith("\n")
+        assert any(line.startswith("load ")
+                   for line in text.splitlines())
+        profile = load_host_profile(str(profile_json))
+        assert profile.phase("load") is not None
+        assert profile.phase("run") is not None
+        payload = json.loads(trace.read_text())
+        validate_chrome_trace(payload)
+        names = {event.get("args", {}).get("name")
+                 for event in payload["traceEvents"]
+                 if event.get("name") == "process_name"}
+        assert "host/profile" in names
+
+    def test_flag_implies_profiling(self, edges_file, tmp_path):
+        from repro.cli import main
+        profile_json = tmp_path / "host.json"
+        code = main(["run", "--edges", edges_file, "--algorithm", "bfs",
+                     "--host-profile-out", str(profile_json)])
+        assert code == 0
+        assert os.path.exists(str(profile_json))
+
+    def test_profile_command_prints_host_summary(self, edges_file,
+                                                 capsys):
+        from repro.cli import main
+        code = main(["profile", "--edges", edges_file,
+                     "--algorithm", "bfs", "--host-profile"])
+        assert code == 0
+        assert "host profile:" in capsys.readouterr().out
