@@ -18,6 +18,13 @@ Subcommands:
   artifacts (or a fresh run against its ``BENCH_history.jsonl``
   baseline) under tolerance rules and exits non-zero on regression,
   and ``obs history`` lists the benchmark trajectory.
+* ``serve`` — run the multi-tenant query service
+  (:mod:`repro.service`): open databases stay resident, queries run
+  concurrently over an HTTP/JSON API with shared caches and admission
+  control.  SIGINT/SIGTERM drain in-flight queries and exit cleanly.
+* ``query`` — send one query to a running ``serve`` instance.  Exit
+  codes: 0 on success, 2 when the service is at capacity (HTTP 429),
+  3 while it is draining (HTTP 503), 1 for every other error.
 
 Examples::
 
@@ -43,6 +50,10 @@ Examples::
         --benchmark wallclock_batched_vs_paged --match quick=true \\
         BENCH_wallclock.json
     python -m repro obs history --path BENCH_history.jsonl
+    python -m repro serve --dataset rmat24 --port 8030
+    python -m repro serve --db social=/data/social --port 8030
+    python -m repro query --url http://127.0.0.1:8030 \\
+        --database rmat24 --algorithm pagerank --iterations 10 --json
 """
 
 import argparse
@@ -305,6 +316,74 @@ def build_parser():
                          help="show only the newest N records")
     history.add_argument("--json", action="store_true",
                          help="print records as a JSON list")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant query service over HTTP/JSON")
+    serve.add_argument("--db", action="append", default=[],
+                       metavar="NAME=PREFIX",
+                       help="serve a saved database prefix under NAME "
+                            "(repeatable; opened through the WAL-aware "
+                            "dynamic layer)")
+    serve.add_argument("--dataset", action="append", default=[],
+                       metavar="NAME",
+                       help="serve a registry dataset, built weighted "
+                            "so every algorithm can run (repeatable)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8030,
+                       help="TCP port; 0 picks a free one (printed on "
+                            "startup)")
+    serve.add_argument("--max-in-flight", type=int, default=8,
+                       help="queries executing at once")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="queries allowed to wait beyond the "
+                            "in-flight set; more are rejected with "
+                            "HTTP 429")
+    serve.add_argument("--shared-cache-pages", type=int, default=None,
+                       metavar="N",
+                       help="cross-query shared page cache capacity "
+                            "per database (default: unbounded; 0 "
+                            "disables caching but keeps accounting)")
+    serve.add_argument("--pool-pages", type=int, default=256,
+                       help="per-database decoded-page pool for --db "
+                            "prefixes")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.add_argument("--stats-out", default=None, metavar="PATH",
+                       help="write final service metrics JSON on "
+                            "shutdown ('obs compare' compatible)")
+
+    query = commands.add_parser(
+        "query", help="send one query to a running serve instance")
+    query.add_argument("--url", default="http://127.0.0.1:8030",
+                       help="service base URL")
+    query.add_argument("--database", required=True,
+                       help="served database name")
+    query.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                       default="bfs")
+    query.add_argument("--start", type=int, default=None,
+                       help="start/query vertex (default: the "
+                            "service picks the busiest vertex)")
+    query.add_argument("--iterations", type=int, default=10)
+    query.add_argument("--k", type=int, default=2, help="k for k-core")
+    query.add_argument("--strategy",
+                       choices=("performance", "scalability"),
+                       default=None)
+    query.add_argument("--streams", type=int, default=None)
+    query.add_argument("--gpus", type=int, default=None)
+    query.add_argument("--execution",
+                       choices=("auto", "paged", "batched"),
+                       default=None)
+    query.add_argument("--query-id", default=None,
+                       help="tag for traces/metrics (default: "
+                            "server-assigned)")
+    query.add_argument("--timeout", type=float, default=60.0,
+                       help="HTTP timeout in seconds (covers the "
+                            "admission wait)")
+    query.add_argument("--include-values", action="store_true",
+                       help="return full output vectors, not summaries")
+    query.add_argument("--json", action="store_true",
+                       help="print the full RunResult dict as JSON")
     return parser
 
 
@@ -657,6 +736,109 @@ def _command_obs(args):
     return handlers[args.obs_command](args)
 
 
+def _command_serve(args):
+    import signal
+    import threading
+
+    from repro.service import GraphService, make_server
+    if not args.db and not args.dataset:
+        raise ConfigurationError(
+            "serve needs at least one --db NAME=PREFIX or --dataset "
+            "NAME")
+    service = GraphService(max_in_flight=args.max_in_flight,
+                           max_queue=args.max_queue,
+                           shared_cache_pages=args.shared_cache_pages)
+    for item in args.db:
+        name, sep, prefix = item.partition("=")
+        if not sep or not name or not prefix:
+            raise ConfigurationError(
+                "--db expects NAME=PREFIX, got %r" % item)
+        db = service.add_database(name, prefix=prefix,
+                                  pool_pages=args.pool_pages)
+        print("serving %r from %s (%d vertices, %d edges)"
+              % (name, prefix, db.num_vertices, db.num_edges),
+              file=sys.stderr)
+    for name in args.dataset:
+        if name not in DATASETS:
+            raise ConfigurationError(
+                "unknown dataset %r (see 'repro datasets')" % name)
+        db = dataset_database(name, weighted=True)
+        service.add_database(name, db=db)
+        print("serving dataset %r (%d vertices, %d edges)"
+              % (name, db.num_vertices, db.num_edges), file=sys.stderr)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+
+    def _begin_shutdown(signum, frame):
+        # serve_forever() must be unblocked from another thread; the
+        # drain itself happens below, after the listener stops.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _begin_shutdown)
+    signal.signal(signal.SIGTERM, _begin_shutdown)
+    print("serving on http://%s:%d (databases: %s)"
+          % (host, port, ", ".join(service.database_names())),
+          flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.drain(wait=True)
+    stats = service.stats()
+    if args.stats_out:
+        from repro.obs import collect_service_metrics
+        collect_service_metrics(stats).to_json(args.stats_out)
+        print("wrote service stats to %s" % args.stats_out,
+              file=sys.stderr)
+    print("clean shutdown: %d completed, %d failed, %d rejected"
+          % (stats["completed"], stats["failed"],
+             stats["rejected_admission"] + stats["rejected_shutdown"]),
+          file=sys.stderr)
+    return 0
+
+
+def _command_query(args):
+    from repro.errors import AdmissionError, ShutdownError
+    from repro.service import ServiceClient
+    client = ServiceClient(args.url, timeout=args.timeout)
+    params = {"iterations": args.iterations, "k": args.k}
+    if args.start is not None:
+        params["start"] = args.start
+    options = {}
+    if args.strategy:
+        options["strategy"] = args.strategy
+    if args.streams is not None:
+        options["num_streams"] = args.streams
+    if args.gpus is not None:
+        options["num_gpus"] = args.gpus
+    if args.execution:
+        options["execution"] = args.execution
+    try:
+        result = client.query(args.database, args.algorithm,
+                              params=params, options=options or None,
+                              query_id=args.query_id,
+                              include_values=args.include_values)
+    except AdmissionError as error:
+        print("busy: %s" % error, file=sys.stderr)
+        return 2
+    except ShutdownError as error:
+        print("draining: %s" % error, file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print("%s on %s [%s]: %.6f s simulated, %d rounds, "
+              "%d pages streamed, shared-cache hit rate %.1f%% "
+              "(query %s)"
+              % (result["algorithm"], result["dataset"],
+                 result["strategy"], result["elapsed_seconds"],
+                 result["num_rounds"], result["pages_streamed"],
+                 100.0 * result["shared_hit_rate"],
+                 result["query_id"]))
+    return 0
+
+
 def _command_bench(args):
     outcome = EXPERIMENTS[args.experiment](args)
     tables = outcome if isinstance(outcome, tuple) else (outcome,)
@@ -679,6 +861,8 @@ def main(argv=None):
         "compact": _command_compact,
         "report": _command_report,
         "obs": _command_obs,
+        "serve": _command_serve,
+        "query": _command_query,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,131 @@
+"""Instrumented locking primitives shared by the concurrent layers.
+
+PRs 1-6 built a strictly single-threaded system: every cache in the
+stack (the :class:`~repro.core.plan.RoundPlanCache`, the database-level
+scatter-index cache, the :class:`~repro.format.io.FileBackedDatabase`
+page pool) relied on one thread mutating it at a time.  The service
+layer (:mod:`repro.service`) runs many queries concurrently against one
+shared database, so those caches now guard their mutable state with the
+locks defined here.
+
+:class:`InstrumentedLock` is a plain mutex with two extra behaviours the
+service's observability wants:
+
+* a **contended-acquisition counter** — every acquire first tries the
+  non-blocking fast path; only when another thread already holds the
+  lock does the counter tick and the caller fall back to a blocking
+  acquire.  Uncontended (single-threaded) use therefore costs one extra
+  integer comparison, and ``contended`` directly measures how often
+  threads actually queued on the shared structure.
+* a **total-acquisition counter**, so a contention *rate* can be
+  reported (``contended / acquisitions``).
+
+Both counters are updated while the lock is held, so they are exact.
+
+:class:`ReadWriteGate` serialises the rare queries that must run alone
+(e.g. fault plans that attach a corrupting injector to a shared
+database) against the common fully-concurrent readers: readers share the
+gate, writers exclude everyone.  Writer preference is deliberately *not*
+implemented — exclusive queries are rare and a simple
+readers-then-writer handoff keeps the gate small and obviously correct.
+"""
+
+import threading
+
+
+class InstrumentedLock:
+    """A mutex that counts total and contended acquisitions.
+
+    Usable as a context manager exactly like :class:`threading.Lock`::
+
+        lock = InstrumentedLock()
+        with lock:
+            ...mutate shared state...
+        lock.contended      # times a thread had to wait
+        lock.acquisitions   # total acquires
+    """
+
+    __slots__ = ("_lock", "contended", "acquisitions")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.contended = 0
+        self.acquisitions = 0
+
+    def acquire(self):
+        """Acquire, counting whether the fast (uncontended) path won."""
+        waited = False
+        if not self._lock.acquire(False):
+            waited = True
+            self._lock.acquire()
+        # Counters are mutated under the lock, so they are exact.
+        self.acquisitions += 1
+        if waited:
+            self.contended += 1
+
+    def release(self):
+        self._lock.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def contention_rate(self):
+        """Fraction of acquisitions that had to wait (0.0 when idle)."""
+        if not self.acquisitions:
+            return 0.0
+        return self.contended / self.acquisitions
+
+    def stats(self):
+        """JSON-ready counter snapshot."""
+        return {"acquisitions": self.acquisitions,
+                "contended": self.contended,
+                "contention_rate": self.contention_rate()}
+
+
+class ReadWriteGate:
+    """Many concurrent readers, or one exclusive writer.
+
+    The service uses this per database handle: ordinary queries enter as
+    readers and run fully concurrently; a query whose fault plan must
+    attach process-global state to the shared database (host-read
+    corruption budgets) enters as a writer and runs alone, so its
+    injected faults can never leak into a neighbour's reads.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        #: Exclusive acquisitions served (how often the slow path ran).
+        self.exclusive_acquisitions = 0
+
+    def acquire_read(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._writer = True
+            while self._readers:
+                self._cond.wait()
+            self.exclusive_acquisitions += 1
+
+    def release_write(self):
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()

@@ -115,6 +115,18 @@ class GTSEngine:
         measurement across load + run (the CLI does); the engine then
         snapshots without finishing it.  ``False`` (default) keeps the
         host hot paths free of any profiling work.
+    plan_cache:
+        Optional :class:`~repro.core.plan.RoundPlanCache` to share
+        across engines (the service keys one per database so every
+        query reuses one plan build per topology version); ``None``
+        gives this engine a private cache, as before.
+    shared_cache:
+        Optional :class:`~repro.core.cache.SharedPageCache` attached to
+        the database for the duration of each run (and detached after,
+        unless the database already carries one).  Strictly host-side:
+        warm hits skip disk reads and parses, while simulated timings
+        and outputs stay bit-identical to uncached runs; the run books
+        its ``shared_hits`` / ``shared_misses`` deltas into the result.
     """
 
     def __init__(self, db, machine, strategy="performance", num_streams=16,
@@ -123,7 +135,7 @@ class GTSEngine:
                  mm_buffer_bytes=None, tracing=False,
                  validate_simulation=False, execution="auto",
                  faults=None, fault_seed=None, retry_policy=None,
-                 host_profile=False):
+                 host_profile=False, plan_cache=None, shared_cache=None):
         if num_streams < 1:
             raise ConfigurationError("need at least one stream")
         if execution not in EXECUTION_MODES:
@@ -151,7 +163,9 @@ class GTSEngine:
         self.tracing = tracing or validate_simulation
         self.execution = execution
         self.host_profile = host_profile
-        self._plan_cache = RoundPlanCache()
+        self.shared_cache = shared_cache
+        self._plan_cache = (plan_cache if plan_cache is not None
+                            else RoundPlanCache())
         self._lp_runs = self._index_large_page_runs()
         self._db_topology_version = getattr(db, "topology_version", 0)
 
@@ -329,7 +343,7 @@ class GTSEngine:
     # ------------------------------------------------------------------
     # The run loop (Algorithm 1)
     # ------------------------------------------------------------------
-    def run(self, kernel, dataset_name=None):
+    def run(self, kernel, dataset_name=None, query_id=None):
         """Execute ``kernel`` over the database; returns a
         :class:`~repro.core.result.RunResult` with the algorithm output
         and the simulated performance counters.
@@ -339,9 +353,25 @@ class GTSEngine:
         and is attached to the database's host read path (file-backed
         databases verify checksums against it) for the duration of the
         run only.
+
+        ``query_id`` tags the result (and the service's traces and
+        metrics) with the caller's identifier; ``None`` leaves the
+        one-shot behaviour unchanged.  When the engine was built with a
+        ``shared_cache``, it is attached to the database for this run
+        and detached after — unless the database already carries one
+        (the service attaches it persistently), which is left alone.
         """
         injector = None
         attached = []
+        shared_attached = []
+        if self.shared_cache is not None:
+            for candidate in (self.db, getattr(self.db, "_base", None)):
+                if (candidate is not None
+                        and hasattr(candidate, "attach_shared_cache")
+                        and getattr(candidate, "shared_cache",
+                                    None) is None):
+                    candidate.attach_shared_cache(self.shared_cache)
+                    shared_attached.append(candidate)
         if self.faults is not None and self.faults.active:
             injector = FaultInjector(self.faults, seed=self.fault_seed,
                                      retry=self.retry_policy)
@@ -370,12 +400,14 @@ class GTSEngine:
                     hp_hosts.append(candidate)
         try:
             return self._run(kernel, dataset_name, injector, hp,
-                             owns_profiler)
+                             owns_profiler, query_id=query_id)
         finally:
             for candidate in attached:
                 candidate.detach_fault_injector()
             for candidate in hp_hosts:
                 candidate.host_profiler = None
+            for candidate in shared_attached:
+                candidate.detach_shared_cache()
 
     @staticmethod
     def _host_io_counters(db):
@@ -391,8 +423,20 @@ class GTSEngine:
             totals[2] += getattr(candidate, "host_adjacent_reads", 0)
         return totals
 
+    @staticmethod
+    def _shared_cache_of(db, fallback=None):
+        """The shared page cache a run reads its counters from: the
+        database's attached one (the service case), the base database's
+        (dynamic overlays), or the engine's own ``fallback``."""
+        shared = getattr(db, "shared_cache", None)
+        if shared is None:
+            base = getattr(db, "_base", None)
+            if base is not None:
+                shared = getattr(base, "shared_cache", None)
+        return shared if shared is not None else fallback
+
     def _run(self, kernel, dataset_name, injector, hp=None,
-             owns_profiler=False):
+             owns_profiler=False, query_id=None):
         wall_start = _time.perf_counter()
         db = self.db
         if hp is not None:
@@ -410,6 +454,12 @@ class GTSEngine:
         integrity_retries_start = self._integrity_retries(db)
         scatter_hits_start = getattr(db, "scatter_hits", 0)
         scatter_misses_start = getattr(db, "scatter_misses", 0)
+        # Shared-cache deltas are exact for serial runs; under the
+        # service's concurrency they attribute the whole interval's
+        # traffic to this run (the cache is one ledger for all queries).
+        shared = self._shared_cache_of(db, self.shared_cache)
+        shared_hits_start = shared.hits if shared is not None else 0
+        shared_misses_start = shared.misses if shared is not None else 0
         use_batched = self._resolve_execution(kernel)
         topology = db.topology_bytes()
         recorder = None
@@ -692,6 +742,10 @@ class GTSEngine:
             - scatter_hits_start,
             scatter_misses=getattr(db, "scatter_misses", 0)
             - scatter_misses_start,
+            shared_hits=(shared.hits - shared_hits_start
+                         if shared is not None else 0),
+            shared_misses=(shared.misses - shared_misses_start
+                           if shared is not None else 0),
             transfer_busy_seconds=sum(
                 g.copy_engine.busy_time for g in runtime.gpus),
             kernel_busy_seconds=sum(
@@ -711,6 +765,7 @@ class GTSEngine:
             trace=recorder,
             fault_stats=fault_stats,
             host_profile=host_profile,
+            query_id=query_id,
         )
 
     # ------------------------------------------------------------------

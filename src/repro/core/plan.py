@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.concurrency import InstrumentedLock
 from repro.format.page import PageKind, sorted_scatter_index
 
 
@@ -117,7 +118,13 @@ class RoundBatch:
     def scatter_rec(self):
         """Record index feeding each scatter-ordered edge (the memoised
         composition ``edge_rec[scatter_order]``; gathering through it is
-        exactly ``x[edge_rec][scatter_order]`` with one gather)."""
+        exactly ``x[edge_rec][scatter_order]`` with one gather).
+
+        Concurrent callers may race on the memo, but both compute the
+        same array from immutable inputs and attribute assignment is
+        atomic, so the worst case is one duplicated gather — never a
+        wrong or torn value.
+        """
         cached = getattr(self, "_scatter_rec", None)
         if cached is None:
             cached = self.edge_rec[self.scatter_order]
@@ -244,6 +251,10 @@ class PagePlan:
             self._build_scatter(db)
         self._full_batch = None
         self._copy_bytes = {}
+        # Memoisation guard: concurrent queries share one plan, and the
+        # full-database batch / copy-bytes tables are built lazily on
+        # first use.  The arrays themselves are immutable once built.
+        self._memo_lock = InstrumentedLock()
 
     def _build_scatter(self, db):
         """Derive the global sorted-scatter index.
@@ -321,8 +332,12 @@ class PagePlan:
         (``db.page_bytes(pid) + db.ra_subvector_bytes(pid, b)``)."""
         cached = self._copy_bytes.get(ra_bytes_per_vertex)
         if cached is None:
-            cached = self.page_size + self.dir_records * ra_bytes_per_vertex
-            self._copy_bytes[ra_bytes_per_vertex] = cached
+            with self._memo_lock:
+                cached = self._copy_bytes.get(ra_bytes_per_vertex)
+                if cached is None:
+                    cached = (self.page_size
+                              + self.dir_records * ra_bytes_per_vertex)
+                    self._copy_bytes[ra_bytes_per_vertex] = cached
         return cached
 
     def round_batch(self, pids):
@@ -338,18 +353,25 @@ class PagePlan:
         return self._gather(pids)
 
     def full_batch(self):
-        if self._full_batch is None:
-            order = self._full_order
-            if np.array_equal(order,
-                              np.arange(self.num_pages, dtype=np.int64)):
-                # SP-first dispatch order coincides with pid order (the
-                # builder numbers small pages before large ones), so the
-                # full-database batch is the plan's own arrays — no
-                # multi-million-element gather needed.
-                self._full_batch = self._identity_batch()
-            else:
-                self._full_batch = self._gather(order)
-        return self._full_batch
+        batch = self._full_batch
+        if batch is None:
+            with self._memo_lock:
+                batch = self._full_batch
+                if batch is None:
+                    order = self._full_order
+                    if np.array_equal(
+                            order,
+                            np.arange(self.num_pages, dtype=np.int64)):
+                        # SP-first dispatch order coincides with pid
+                        # order (the builder numbers small pages before
+                        # large ones), so the full-database batch is the
+                        # plan's own arrays — no multi-million-element
+                        # gather needed.
+                        batch = self._identity_batch()
+                    else:
+                        batch = self._gather(order)
+                    self._full_batch = batch
+        return batch
 
     def _identity_batch(self):
         edge_starts = self.edge_indptr[:-1]
@@ -413,32 +435,70 @@ class PagePlan:
 class RoundPlanCache:
     """Cache of :class:`PagePlan` keyed by the topology version.
 
-    One engine owns one cache; a ``topology_version`` bump (dynamic
-    update batch, compaction) makes the next :meth:`get` rebuild.
+    Historically one engine owned one cache; the service layer now
+    shares a single instance across every query on a database (injected
+    via ``GTSEngine(plan_cache=...)``), so :meth:`get` is thread-safe: a
+    build holds the cache lock, concurrent warm getters take a lock-free
+    fast path on the already-built plan, and ``contended``/``hits``/
+    ``builds`` feed the service's shared-cache accounting.  A
+    ``topology_version`` bump (dynamic update batch, compaction) makes
+    the next :meth:`get` rebuild.
     """
 
     def __init__(self):
         self._plan = None
+        self._lock = InstrumentedLock()
         self.builds = 0
         self.hits = 0
 
+    @property
+    def contended(self):
+        """Lock acquisitions that had to wait (build-vs-build races)."""
+        return self._lock.contended
+
     def get(self, db, host_profiler=None):
+        """The plan for ``db``'s current topology (built on miss).
+
+        The fast path reads the already-built plan without taking the
+        lock — the reference is assigned atomically and plans are
+        immutable-after-build — so warm concurrent queries never
+        serialise here.  ``hits`` uses a racy increment on that path,
+        which can undercount by a handful under heavy threading; the
+        service treats it as an aggregate rate, not a ledger.
+        """
         version = getattr(db, "topology_version", 0)
         plan = self._plan
         if plan is not None and plan.topology_version == version:
             self.hits += 1
             return plan
-        if host_profiler is not None:
-            host_profiler.push("plan")
-            try:
-                plan = PagePlan(db, host_profiler=host_profiler)
-            finally:
-                host_profiler.pop()
-        else:
-            plan = PagePlan(db)
-        self._plan = plan
-        self.builds += 1
+        with self._lock:
+            plan = self._plan
+            if plan is not None and plan.topology_version == version:
+                self.hits += 1
+                return plan
+            if host_profiler is not None:
+                host_profiler.push("plan")
+                try:
+                    plan = PagePlan(db, host_profiler=host_profiler)
+                finally:
+                    host_profiler.pop()
+            else:
+                plan = PagePlan(db)
+            self._plan = plan
+            self.builds += 1
         return plan
 
+    def stats(self):
+        """JSON-ready counter snapshot for the service stats endpoint."""
+        total = self.hits + self.builds
+        return {
+            "hits": self.hits,
+            "builds": self.builds,
+            "hit_rate": self.hits / total if total else 0.0,
+            "lock": self._lock.stats(),
+        }
+
     def invalidate(self):
-        self._plan = None
+        """Drop the cached plan (the next :meth:`get` rebuilds)."""
+        with self._lock:
+            self._plan = None

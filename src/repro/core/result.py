@@ -61,6 +61,13 @@ class RunResult:
     #: and plan builds; a hit means an argsort was skipped).
     scatter_hits: int = 0
     scatter_misses: int = 0
+    #: Cross-query shared-cache traffic observed during this run (zero
+    #: unless a :class:`~repro.core.cache.SharedPageCache` was attached;
+    #: a hit means a disk read *and* a byte-level parse were skipped).
+    #: Exact for serial runs; under concurrent service queries the
+    #: interval attributes the whole shared ledger's movement.
+    shared_hits: int = 0
+    shared_misses: int = 0
     transfer_busy_seconds: float = 0.0
     kernel_busy_seconds: float = 0.0
     #: Sum of per-stream kernel occupancy (what a Figure 4-style stream
@@ -92,6 +99,10 @@ class RunResult:
     #: the engine ran with ``host_profile=True``: per-phase wall-clock,
     #: tracemalloc peak and real I/O counters.  ``None`` otherwise.
     host_profile: Optional[object] = None
+    #: Caller-supplied identifier when the run was submitted through the
+    #: service layer (``None`` for one-shot runs); tags traces, metrics
+    #: and the ``--json`` payload.
+    query_id: Optional[str] = None
 
     def analyze(self):
         """Trace analytics for this run: lane occupancy, the
@@ -130,6 +141,12 @@ class RunResult:
     def pool_hit_rate(self):
         total = self.pool_hits + self.pool_misses
         return self.pool_hits / total if total else 0.0
+
+    @property
+    def shared_hit_rate(self):
+        """Cross-query shared-cache hit rate seen during this run."""
+        total = self.shared_hits + self.shared_misses
+        return self.shared_hits / total if total else 0.0
 
     @property
     def transfer_to_kernel_ratio(self):
@@ -206,6 +223,10 @@ class RunResult:
             "pool_hit_rate": self.pool_hit_rate,
             "scatter_hits": self.scatter_hits,
             "scatter_misses": self.scatter_misses,
+            "shared_hits": self.shared_hits,
+            "shared_misses": self.shared_misses,
+            "shared_hit_rate": self.shared_hit_rate,
+            "query_id": self.query_id,
             "execution": self.execution,
             "transfer_busy_seconds": self.transfer_busy_seconds,
             "kernel_busy_seconds": self.kernel_busy_seconds,

@@ -134,8 +134,19 @@ class DynamicGraphDatabase(GraphDatabase):
         if page_id < 0 or page_id >= len(self.directory):
             raise FormatError("unknown page ID %d" % page_id)
         page = self._merged.get(page_id)
-        if page is None:
+        if page is not None:
+            return page
+        if page_id >= self._base_pages:
             page = self._materialise(page_id)
+            self._merged[page_id] = page
+            return page
+        # Untouched base pages are never memoised here: parking them in
+        # this unbounded dict would shadow the base handle's bounded
+        # page pool (and any attached cross-query shared cache), so only
+        # overlay-merged pages stay resident on the wrapper.
+        base_page = self._base.page(page_id)
+        page = self._merge_base(page_id, base_page)
+        if page is not base_page:
             self._merged[page_id] = page
         return page
 
@@ -155,7 +166,13 @@ class DynamicGraphDatabase(GraphDatabase):
     def _materialise(self, pid):
         if pid >= self._base_pages:
             return self._extension_page(pid)
-        base_page = self._base.page(pid)
+        return self._merge_base(pid, self._base.page(pid))
+
+    def _merge_base(self, pid, base_page):
+        """The overlay-merged view of a base page (``base_page`` itself
+        when none of its vertices carry deltas)."""
+        if not self._extras and not self._dead:
+            return base_page
         vids = (range(base_page.start_vid,
                       base_page.start_vid + base_page.num_records)
                 if base_page.kind.value == "SP" else (base_page.vid,))

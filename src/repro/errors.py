@@ -108,6 +108,47 @@ class RetryExhaustedError(FaultError):
         self.page_id = page_id
 
 
+class ServiceError(GTSError):
+    """A request to the multi-tenant query service was invalid.
+
+    Raised by :mod:`repro.service` for malformed query requests: an
+    unknown database name, an unknown algorithm, or parameters the
+    target database cannot satisfy (e.g. a weighted algorithm on a
+    weight-less topology).  Admission failures use the more specific
+    :class:`AdmissionError` / :class:`ShutdownError` subclasses so
+    transport layers can map them to distinct status codes.
+    """
+
+
+class AdmissionError(ServiceError):
+    """The service's admission controller rejected a query.
+
+    Raised when accepting the query would exceed the configured
+    capacity (``max_in_flight`` running queries plus ``max_queue``
+    waiting ones).  This is the typed back-pressure signal — the HTTP
+    layer maps it to 429 — and carries the controller's state at
+    rejection time so clients and logs can see *how* full the service
+    was.
+    """
+
+    def __init__(self, message, queue_depth=None, in_flight=None,
+                 max_in_flight=None, max_queue=None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.in_flight = in_flight
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+
+
+class ShutdownError(ServiceError):
+    """The service is draining and no longer admits queries.
+
+    Raised for queries submitted after shutdown began; queries already
+    in flight (or queued) when the drain started still complete.  The
+    HTTP layer maps this to 503.
+    """
+
+
 class DeviceLostError(FaultError):
     """A whole simulated device failed and its loss is unrecoverable.
 

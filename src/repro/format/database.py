@@ -16,6 +16,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.concurrency import InstrumentedLock
 from repro.errors import FormatError
 from repro.format.page import PageKind, sorted_scatter_index
 
@@ -64,10 +65,18 @@ class GraphDatabase:
         self._scatter_cache = {}
         self.scatter_hits = 0
         self.scatter_misses = 0
+        #: Guards scatter-cache insertion when concurrent service
+        #: queries share one database; the probe stays lock-free.
+        self._scatter_lock = InstrumentedLock()
         #: Optional :class:`~repro.obs.host.HostProfiler` attached by
         #: the engine for the duration of a profiled run; ``None``
         #: keeps the page/scatter hot paths free of profiling work.
         self.host_profiler = None
+        #: Optional :class:`~repro.core.cache.SharedPageCache` attached
+        #: by the service (or ``GTSEngine(shared_cache=...)``); consulted
+        #: only by the file-backed loader's miss path, so eager
+        #: databases carry the attribute but never touch it.
+        self.shared_cache = None
 
     # ------------------------------------------------------------------
     # Page access
@@ -112,12 +121,19 @@ class GraphDatabase:
         evictions in :class:`~repro.format.io.FileBackedDatabase` no
         longer force an argsort recompute.  ``scatter_hits`` /
         ``scatter_misses`` feed the engine's per-run counters.
+
+        Thread-safe for the service's concurrent queries: the hit path
+        is a lock-free dict probe (entries are immutable tuples, and a
+        racy hit-counter increment may undercount slightly under heavy
+        threading — the counters are rates, not ledgers); the miss path
+        computes the argsort outside the lock and inserts under it, so
+        two simultaneous missers at worst duplicate one argsort and the
+        last identical value wins.
         """
         cached = self._scatter_cache.get(page.page_id)
         if cached is not None and cached[0] == self.topology_version:
             self.scatter_hits += 1
             return cached[1]
-        self.scatter_misses += 1
         # Profiling hooks live on the miss path only: cache hits stay a
         # dict probe regardless of profiling.
         hp = self.host_profiler
@@ -127,8 +143,31 @@ class GraphDatabase:
             hp.pop()
         else:
             index = sorted_scatter_index(page.adj_vids)
-        self._scatter_cache[page.page_id] = (self.topology_version, index)
+        with self._scatter_lock:
+            self.scatter_misses += 1
+            self._scatter_cache[page.page_id] = (self.topology_version,
+                                                 index)
         return index
+
+    def scatter_lock_stats(self):
+        """Scatter-cache lock contention counters (service stats)."""
+        return self._scatter_lock.stats()
+
+    # ------------------------------------------------------------------
+    # Cross-query shared cache (service layer)
+    # ------------------------------------------------------------------
+    def attach_shared_cache(self, cache):
+        """Attach a :class:`~repro.core.cache.SharedPageCache`.
+
+        Idempotent; the cache outlives any single run.  Eager databases
+        accept the attachment for API symmetry but never consult it
+        (their pages are already decoded and resident).
+        """
+        self.shared_cache = cache
+
+    def detach_shared_cache(self):
+        """Detach the shared cache (runs fall back to their own I/O)."""
+        self.shared_cache = None
 
     # ------------------------------------------------------------------
     # Storage accounting

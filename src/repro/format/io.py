@@ -43,6 +43,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.concurrency import InstrumentedLock
 from repro.errors import ConfigurationError, FormatError, IntegrityError
 from repro.format.config import PageFormatConfig
 from repro.format.database import GraphDatabase, PageDirectoryEntry
@@ -287,6 +288,17 @@ class FileBackedDatabase(GraphDatabase):
     :meth:`page`, :meth:`page_for_vertex`, the ID lists, the statistics
     — behaves identically to the eager database, so GTS runs unchanged
     on top of it; only this process's memory footprint differs.
+
+    Thread safety: the pool (probe, LRU refresh, eviction, insert) and
+    the host-I/O counters are guarded by instrumented locks so the
+    service layer can run many queries against one handle.  Page parses
+    happen *outside* the pool lock — two threads missing on the same
+    page at worst parse it twice, and the second inserter adopts the
+    first's resident instance.  When a
+    :class:`~repro.core.cache.SharedPageCache` is attached
+    (``self.shared_cache``), pool misses consult it before touching the
+    pages file and populate it after a checksum-verified parse, so warm
+    queries skip the disk read and the byte-level decode entirely.
     """
 
     def __init__(self, prefix, pool_pages=256):
@@ -327,6 +339,12 @@ class FileBackedDatabase(GraphDatabase):
         self._pool = OrderedDict()
         self.pool_hits = 0
         self.pool_misses = 0
+        #: Guards the pool's probe/refresh/evict/insert and its hit
+        #: counters; parses run outside it (see the class docstring).
+        self._pool_lock = InstrumentedLock()
+        #: Guards the real-I/O counters below; the reads themselves use
+        #: a per-call file handle and need no serialisation.
+        self._io_lock = InstrumentedLock()
         #: Optional :class:`~repro.faults.FaultInjector`; when attached,
         #: host page reads consult its ``host_corrupt_reads`` budget.
         self.fault_injector = None
@@ -365,35 +383,64 @@ class FileBackedDatabase(GraphDatabase):
     def page(self, page_id):
         if page_id < 0 or page_id >= len(self.directory):
             raise FormatError("unknown page ID %d" % page_id)
-        if page_id in self._pool:
-            self._pool.move_to_end(page_id)
-            self.pool_hits += 1
-            return self._pool[page_id]
-        self.pool_misses += 1
-        # The profiling hook sits on the miss path only; pool hits stay
-        # a dict probe + move_to_end no matter what.
-        hp = self.host_profiler
-        if hp is not None:
-            hp.push("page_parse")
-            page = self._parse_page(page_id)
-            hp.pop()
-        else:
-            page = self._parse_page(page_id)
-        while len(self._pool) >= self._pool_pages:
-            self._pool.popitem(last=False)
-        self._pool[page_id] = page
+        with self._pool_lock:
+            page = self._pool.get(page_id)
+            if page is not None:
+                self._pool.move_to_end(page_id)
+                self.pool_hits += 1
+                return page
+            self.pool_misses += 1
+        # Pool miss: consult the cross-query shared cache (if the
+        # service attached one) before paying the disk read and the
+        # parse.  It stores only checksum-verified decoded pages keyed
+        # by topology version, so a warm hit is exactly the object a
+        # fresh parse would produce.
+        shared = self.shared_cache
+        page = shared.get(page_id, self.topology_version) \
+            if shared is not None else None
+        if page is None:
+            # The profiling hook sits on the parse path only; pool and
+            # shared-cache hits stay dict probes no matter what.
+            hp = self.host_profiler
+            if hp is not None:
+                hp.push("page_parse")
+                page = self._parse_page(page_id)
+                hp.pop()
+            else:
+                page = self._parse_page(page_id)
+            if shared is not None:
+                # Only verified parses reach this line (_parse_page
+                # raises on persistent checksum mismatch), so injected
+                # or real corruption can never poison the shared cache.
+                shared.put(page_id, self.topology_version, page)
+        with self._pool_lock:
+            racer = self._pool.get(page_id)
+            if racer is not None:
+                # Another thread parsed the same page meanwhile; adopt
+                # the resident instance so callers share one object.
+                self._pool.move_to_end(page_id)
+                return racer
+            while len(self._pool) >= self._pool_pages:
+                self._pool.popitem(last=False)
+            self._pool[page_id] = page
         return page
+
+    def pool_lock_stats(self):
+        """Pool and I/O-counter lock contention (service stats)."""
+        return {"pool": self._pool_lock.stats(),
+                "io": self._io_lock.stats()}
 
     def _read_page_bytes(self, page_id):
         """One raw page read; a fault injector may corrupt the result."""
         with open(self._pages_path, "rb") as handle:
             handle.seek(page_id * self.config.page_size)
             data = handle.read(self.config.page_size)
-        self.host_bytes_read += len(data)
-        self.host_reads += 1
-        if page_id == self._last_read_pid + 1:
-            self.host_adjacent_reads += 1
-        self._last_read_pid = page_id
+        with self._io_lock:
+            self.host_bytes_read += len(data)
+            self.host_reads += 1
+            if page_id == self._last_read_pid + 1:
+                self.host_adjacent_reads += 1
+            self._last_read_pid = page_id
         injector = self.fault_injector
         if injector is not None and injector.host_read_corrupt(page_id):
             data = bytes([data[0] ^ 0xFF]) + data[1:]
@@ -420,7 +467,8 @@ class FileBackedDatabase(GraphDatabase):
                 except IntegrityError:
                     if attempt + 1 >= attempts:
                         raise
-                    self.integrity_retries += 1
+                    with self._io_lock:
+                        self.integrity_retries += 1
                     data = self._read_page_bytes(page_id)
         if entry.kind == "SP":
             page = SmallPage.from_bytes(data, page_id, entry.num_records,

@@ -113,6 +113,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     collect_dynamic_metrics,
     collect_run_metrics,
+    collect_service_metrics,
 )
 
 __all__ = [
@@ -172,6 +173,7 @@ __all__ = [
     "MetricsRegistry",
     "collect_run_metrics",
     "collect_dynamic_metrics",
+    "collect_service_metrics",
     "CostModelDrift",
     "cost_model_drift",
     "record_drift",

@@ -268,6 +268,15 @@ def collect_run_metrics(result, registry=None):
         total = result.scatter_hits + result.scatter_misses
         registry.gauge("scatter_index.hit_rate").set(
             result.scatter_hits / total)
+    if result.shared_hits or result.shared_misses:
+        registry.counter("shared_cache.hits",
+                         "cross-query shared-cache hits (disk read + "
+                         "parse skipped)").inc(result.shared_hits)
+        registry.counter("shared_cache.misses").inc(result.shared_misses)
+        registry.gauge("shared_cache.hit_rate").set(
+            result.shared_hit_rate)
+    if result.query_id is not None:
+        registry.meta.setdefault("query_id", result.query_id)
 
     if result.fault_stats is not None:
         fs = result.fault_stats
@@ -356,4 +365,60 @@ def collect_dynamic_metrics(db, registry=None):
     registry.counter("compaction.count").inc(stats["compactions"])
     registry.counter("compaction.folded_bytes").inc(
         stats["compaction_folded_bytes"])
+    return registry
+
+
+def collect_service_metrics(stats, registry=None):
+    """Populate a registry from a service stats snapshot.
+
+    ``stats`` is :meth:`repro.service.service.GraphService.stats` (or a
+    service instance, whose snapshot is taken here).  Returns the
+    registry (a fresh one when none is given).  Names are stable,
+    mirroring :func:`collect_run_metrics`; per-database cache counters
+    are flattened as ``service.db.<name>.*``.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    if hasattr(stats, "stats"):
+        stats = stats.stats()
+    registry.gauge("service.queue_depth",
+                   "queries waiting for a worker").set(
+        stats["queue_depth"])
+    registry.gauge("service.in_flight",
+                   "queries currently executing").set(stats["in_flight"])
+    registry.gauge("service.peak_in_flight").set(stats["peak_in_flight"])
+    registry.gauge("service.peak_queued").set(stats["peak_queued"])
+    registry.counter("service.admitted",
+                     "queries accepted by admission control"
+                     ).inc(stats["admitted"])
+    registry.counter("service.completed").inc(stats["completed"])
+    registry.counter("service.failed").inc(stats["failed"])
+    registry.counter("service.rejected_admission",
+                     "queries rejected at capacity (HTTP 429)"
+                     ).inc(stats["rejected_admission"])
+    registry.counter("service.rejected_shutdown",
+                     "queries rejected while draining (HTTP 503)"
+                     ).inc(stats["rejected_shutdown"])
+    latency = stats.get("latency_seconds") or {}
+    for quantile in ("p50", "p95", "p99"):
+        value = latency.get(quantile)
+        if value is not None:
+            registry.gauge("service.latency_%s_seconds" % quantile,
+                           "query wall-clock latency").set(value)
+    for name, db_stats in sorted((stats.get("databases") or {}).items()):
+        prefix = "service.db.%s" % name
+        shared = db_stats.get("shared_cache") or {}
+        registry.counter(prefix + ".queries").inc(db_stats["queries"])
+        registry.counter(prefix + ".shared_hits").inc(
+            shared.get("hits", 0))
+        registry.counter(prefix + ".shared_misses").inc(
+            shared.get("misses", 0))
+        registry.gauge(prefix + ".shared_hit_rate").set(
+            shared.get("hit_rate", 0.0))
+        plan = db_stats.get("plan_cache") or {}
+        registry.counter(prefix + ".plan_hits").inc(plan.get("hits", 0))
+        registry.counter(prefix + ".plan_builds").inc(
+            plan.get("builds", 0))
+        registry.counter(prefix + ".exclusive_queries").inc(
+            db_stats.get("exclusive_queries", 0))
     return registry

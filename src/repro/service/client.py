@@ -1,0 +1,102 @@
+"""A stdlib-only client for the service's HTTP/JSON API.
+
+:class:`ServiceClient` wraps :mod:`urllib` and maps the server's typed
+status codes back onto the exception hierarchy, so code talking to a
+remote service handles the same :class:`~repro.errors.AdmissionError` /
+:class:`~repro.errors.ShutdownError` / :class:`~repro.errors.ServiceError`
+it would catch around an in-process :class:`GraphService`.  The CLI's
+``query`` subcommand is a thin shell over this class.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import (
+    AdmissionError,
+    ServiceError,
+    ShutdownError,
+)
+
+
+class ServiceClient:
+    """Talk to a running ``python -m repro serve`` instance.
+
+    ``base_url`` is e.g. ``http://127.0.0.1:8030``; ``timeout`` bounds
+    each HTTP call in seconds (queries queue server-side, so allow for
+    the admission wait, not just the run).
+    """
+
+    def __init__(self, base_url, timeout=60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, path, payload=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            self._raise_typed(error)
+
+    @staticmethod
+    def _raise_typed(error):
+        """Translate an HTTP error response into a typed exception."""
+        try:
+            body = json.loads(error.read())
+        except ValueError:
+            body = {}
+        message = body.get("error", "HTTP %d" % error.code)
+        if error.code == 429:
+            raise AdmissionError(message,
+                                 queue_depth=body.get("queue_depth"),
+                                 in_flight=body.get("in_flight"),
+                                 max_in_flight=body.get("max_in_flight"),
+                                 max_queue=body.get("max_queue")) \
+                from None
+        if error.code == 503:
+            raise ShutdownError(message) from None
+        raise ServiceError("server rejected request (HTTP %d): %s"
+                           % (error.code, message)) from None
+
+    # ------------------------------------------------------------------
+    def healthz(self):
+        """Liveness probe: the ``/healthz`` payload."""
+        return self._request("/healthz")
+
+    def stats(self):
+        """The service's counter snapshot (``/stats``)."""
+        return self._request("/stats")
+
+    def query(self, database, algorithm, params=None, options=None,
+              faults=None, fault_seed=None, query_id=None,
+              include_values=False):
+        """Run one query; returns the RunResult dict from the server.
+
+        Raises the same typed errors an in-process submit would:
+        :class:`~repro.errors.AdmissionError` at capacity,
+        :class:`~repro.errors.ShutdownError` while draining,
+        :class:`~repro.errors.ServiceError` for invalid requests.
+        """
+        payload = {"database": database, "algorithm": algorithm}
+        if params:
+            payload["params"] = params
+        if options:
+            payload["options"] = options
+        if faults is not None:
+            payload["faults"] = faults
+        if fault_seed is not None:
+            payload["fault_seed"] = fault_seed
+        if query_id is not None:
+            payload["query_id"] = query_id
+        if include_values:
+            payload["include_values"] = True
+        return self._request("/query", payload)

@@ -1,0 +1,134 @@
+"""A small stdlib-only HTTP/JSON front end for :class:`GraphService`.
+
+Endpoints:
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", "draining": ...}``.
+* ``GET /stats`` — the service's full counter snapshot
+  (:meth:`~repro.service.service.GraphService.stats`).
+* ``POST /query`` — run one query; the JSON body is a
+  :meth:`~repro.service.service.QueryRequest.from_dict` payload, the
+  response a :meth:`~repro.core.result.RunResult.to_dict` (pass
+  ``"include_values": true`` in the body for full output vectors).
+
+Typed service errors map to distinct status codes so clients can react
+without parsing prose: 400 for invalid requests
+(:class:`~repro.errors.ServiceError` and other
+:class:`~repro.errors.GTSError`\\ s), 429 for admission rejections
+(:class:`~repro.errors.AdmissionError`, with the controller's state in
+the body), 503 while draining (:class:`~repro.errors.ShutdownError`),
+500 for anything unexpected.  The server is a
+:class:`~http.server.ThreadingHTTPServer`: each request gets its own
+thread, which then blocks on the service's admission-controlled pool —
+back-pressure comes from the service, not from the socket listener.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    AdmissionError,
+    GTSError,
+    ServiceError,
+    ShutdownError,
+)
+from repro.service.service import QueryRequest
+
+#: Largest accepted request body; queries are small JSON documents and
+#: an oversized body is rejected before being read into memory.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the owning server's GraphService."""
+
+    #: Quiet by default; ``python -m repro serve --verbose`` flips this.
+    log_requests = False
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):
+        """Respect :attr:`log_requests` (stdlib logs unconditionally)."""
+        if self.log_requests:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status, payload, extra_headers=None):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_GET(self):
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok",
+                                  "draining": service.draining})
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        else:
+            self._send_json(404, {"error": "unknown path %r" % self.path})
+
+    def do_POST(self):
+        if self.path != "/query":
+            self._send_json(404, {"error": "unknown path %r" % self.path})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "body must be 1..%d bytes"
+                                           % MAX_BODY_BYTES})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except ValueError:
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return
+        include_values = bool(payload.pop("include_values", False)) \
+            if isinstance(payload, dict) else False
+        service = self.server.service
+        try:
+            request = QueryRequest.from_dict(payload)
+            result = service.submit(request).result()
+        except AdmissionError as error:
+            self._send_json(429, {
+                "error": str(error),
+                "type": "AdmissionError",
+                "queue_depth": error.queue_depth,
+                "in_flight": error.in_flight,
+                "max_in_flight": error.max_in_flight,
+                "max_queue": error.max_queue,
+            }, extra_headers={"Retry-After": "1"})
+        except ShutdownError as error:
+            self._send_json(503, {"error": str(error),
+                                  "type": "ShutdownError"})
+        except ServiceError as error:
+            self._send_json(400, {"error": str(error),
+                                  "type": "ServiceError"})
+        except GTSError as error:
+            self._send_json(400, {"error": str(error),
+                                  "type": type(error).__name__})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": str(error),
+                                  "type": type(error).__name__})
+        else:
+            self._send_json(200, result.to_dict(
+                include_values=include_values))
+
+
+def make_server(service, host="127.0.0.1", port=0, verbose=False):
+    """Bind a :class:`ThreadingHTTPServer` fronting ``service``.
+
+    ``port=0`` picks a free port (read it back from
+    ``server.server_address[1]``); the caller owns the serve loop —
+    ``server.serve_forever()`` to run, ``server.shutdown()`` +
+    ``server.server_close()`` to stop.
+    """
+    handler = type("BoundHandler", (ServiceRequestHandler,),
+                   {"log_requests": verbose})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.service = service
+    return server

@@ -1,0 +1,485 @@
+"""The multi-tenant graph query service core.
+
+:class:`GraphService` is a long-lived object that owns open database
+handles and runs many queries against them concurrently, sharing the
+host-side caches that PRs 1-6 rebuilt per run:
+
+* one :class:`~repro.core.cache.SharedPageCache` per database — decoded
+  pages survive across queries, so a warm query skips the disk read and
+  the byte-level parse (host wall-clock only; simulated timings and
+  outputs stay bit-identical to a cold one-shot run);
+* one :class:`~repro.core.plan.RoundPlanCache` per database — the
+  batched execution path's flat-array plan is built once per topology
+  version instead of once per engine;
+* the database's own scatter-index cache and (for file-backed handles)
+  page pool, which the :mod:`repro.concurrency` locks made safe to
+  share.
+
+Admission control keeps the service honest under load: at most
+``max_in_flight`` queries execute at once on a thread pool, at most
+``max_queue`` more wait, and anything beyond that is rejected with a
+typed :class:`~repro.errors.AdmissionError` (never an unbounded queue).
+:meth:`GraphService.drain` starts a graceful shutdown — queries already
+admitted finish, new ones get :class:`~repro.errors.ShutdownError`.
+
+Queries whose fault plan injects host-read corruption attach
+process-global state to the shared database, so they take the
+database's :class:`~repro.concurrency.ReadWriteGate` exclusively and
+run alone; ordinary queries share the gate and run fully concurrently.
+"""
+
+import itertools
+import threading
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.concurrency import InstrumentedLock, ReadWriteGate
+from repro.core import (
+    BCKernel,
+    BFSKernel,
+    DegreeKernel,
+    GTSEngine,
+    KCoreKernel,
+    PageRankKernel,
+    RWRKernel,
+    SSSPKernel,
+    WCCKernel,
+)
+from repro.core.cache import SharedPageCache
+from repro.core.plan import RoundPlanCache
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServiceError,
+    ShutdownError,
+)
+from repro.hardware.specs import scaled_workstation
+
+#: Service algorithm name -> (kernel factory, needs weighted db).
+#: Factories take (params dict, start vertex); parameters default the
+#: same way the CLI's one-shot ``run`` command does.
+ALGORITHMS = {
+    "bfs": (lambda p, start: BFSKernel(start), False),
+    "pagerank": (lambda p, start: PageRankKernel(
+        iterations=int(p.get("iterations", 10))), False),
+    "sssp": (lambda p, start: SSSPKernel(start), True),
+    "cc": (lambda p, start: WCCKernel(), False),
+    "bc": (lambda p, start: BCKernel(sources=(start,)), False),
+    "rwr": (lambda p, start: RWRKernel(
+        query_vertex=start, iterations=int(p.get("iterations", 10))),
+        False),
+    "degree": (lambda p, start: DegreeKernel(), False),
+    "kcore": (lambda p, start: KCoreKernel(k=int(p.get("k", 2))), False),
+}
+
+#: Engine knobs a query request may override, with service defaults.
+ENGINE_OPTIONS = {
+    "strategy": "performance",
+    "num_streams": 16,
+    "num_gpus": 2,
+    "num_ssds": 2,
+    "execution": "auto",
+    "micro_technique": "edge",
+    "enable_caching": True,
+    "cache_policy": "lru",
+}
+
+
+class QueryRequest:
+    """One query against a served database.
+
+    ``params`` feeds the algorithm factory (``start``, ``iterations``,
+    ``k``); ``options`` overrides engine knobs from
+    :data:`ENGINE_OPTIONS`; ``faults`` is an optional fault-plan dict
+    (such queries run exclusively on their database, see the module
+    docstring).  ``query_id`` tags the result, traces and metrics —
+    ``None`` lets the service assign ``q<N>``.
+    """
+
+    __slots__ = ("database", "algorithm", "params", "options", "faults",
+                 "fault_seed", "query_id")
+
+    def __init__(self, database, algorithm, params=None, options=None,
+                 faults=None, fault_seed=None, query_id=None):
+        self.database = database
+        self.algorithm = algorithm
+        self.params = dict(params or {})
+        self.options = dict(options or {})
+        self.faults = faults
+        self.fault_seed = fault_seed
+        self.query_id = query_id
+        unknown = set(self.options) - set(ENGINE_OPTIONS)
+        if unknown:
+            raise ServiceError(
+                "unknown engine option(s): %s (valid: %s)"
+                % (", ".join(sorted(unknown)),
+                   ", ".join(sorted(ENGINE_OPTIONS))))
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Build a request from a JSON-ish dict (the HTTP body)."""
+        if not isinstance(payload, dict):
+            raise ServiceError("query payload must be a JSON object")
+        if "database" not in payload or "algorithm" not in payload:
+            raise ServiceError(
+                "query payload needs 'database' and 'algorithm' keys")
+        extras = set(payload) - {"database", "algorithm", "params",
+                                 "options", "faults", "fault_seed",
+                                 "query_id"}
+        if extras:
+            raise ServiceError(
+                "unknown query key(s): %s" % ", ".join(sorted(extras)))
+        return cls(payload["database"], payload["algorithm"],
+                   params=payload.get("params"),
+                   options=payload.get("options"),
+                   faults=payload.get("faults"),
+                   fault_seed=payload.get("fault_seed"),
+                   query_id=payload.get("query_id"))
+
+
+class _ServedDatabase:
+    """A database handle plus the caches every query on it shares."""
+
+    __slots__ = ("name", "db", "shared_cache", "plan_cache", "gate",
+                 "queries")
+
+    def __init__(self, name, db, shared_cache_pages=None):
+        self.name = name
+        self.db = db
+        self.shared_cache = SharedPageCache(
+            capacity_pages=shared_cache_pages)
+        self.plan_cache = RoundPlanCache()
+        self.gate = ReadWriteGate()
+        self.queries = 0
+        # Attach to the handle *and* its base (dynamic overlays keep
+        # their file-backed pages on ``_base``, whose miss path is what
+        # consults the shared cache).
+        for candidate in (db, getattr(db, "_base", None)):
+            if candidate is not None and hasattr(candidate,
+                                                 "attach_shared_cache"):
+                candidate.attach_shared_cache(self.shared_cache)
+
+    def stats(self):
+        """JSON-ready per-database cache/lock statistics."""
+        db = self.db
+        out = {
+            "name": self.name,
+            "vertices": db.num_vertices,
+            "edges": db.num_edges,
+            "pages": db.num_pages,
+            "topology_version": getattr(db, "topology_version", 0),
+            "queries": self.queries,
+            "shared_cache": self.shared_cache.stats(),
+            "plan_cache": self.plan_cache.stats(),
+            "exclusive_queries": self.gate.exclusive_acquisitions,
+        }
+        if hasattr(db, "scatter_lock_stats"):
+            out["scatter_lock"] = db.scatter_lock_stats()
+        # Dynamic wrappers keep the page pool on their file-backed base.
+        pooled = (db if hasattr(db, "pool_lock_stats")
+                  else getattr(db, "_base", None))
+        if pooled is not None and hasattr(pooled, "pool_lock_stats"):
+            out["pool_locks"] = pooled.pool_lock_stats()
+            out["pool_hits"] = pooled.pool_hits
+            out["pool_misses"] = pooled.pool_misses
+        return out
+
+
+class GraphService:
+    """Run graph queries concurrently over shared database handles.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Queries executing at once (the worker-pool width).
+    max_queue:
+        Queries allowed to wait beyond the in-flight set; a submit
+        that would exceed ``max_in_flight + max_queue`` total raises
+        :class:`~repro.errors.AdmissionError` instead of queueing.
+    shared_cache_pages:
+        Per-database :class:`~repro.core.cache.SharedPageCache`
+        capacity; ``None`` (default) is unbounded, ``0`` disables
+        caching but keeps the accounting (the benchmark baseline).
+    """
+
+    def __init__(self, max_in_flight=8, max_queue=64,
+                 shared_cache_pages=None):
+        if max_in_flight < 1:
+            raise ConfigurationError(
+                "service needs at least one in-flight slot")
+        if max_queue < 0:
+            raise ConfigurationError("queue capacity cannot be negative")
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.shared_cache_pages = shared_cache_pages
+        self._databases = {}
+        self._db_lock = InstrumentedLock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_in_flight,
+            thread_name_prefix="gts-query")
+        self._lock = InstrumentedLock()
+        self._queued = 0
+        self._in_flight = 0
+        self._draining = False
+        self._drained = threading.Event()
+        self._drained.set()
+        self._query_ids = itertools.count()
+        # Service-level counters (mutated under self._lock, so exact).
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected_admission = 0
+        self.rejected_shutdown = 0
+        self.peak_in_flight = 0
+        self.peak_queued = 0
+        self._wall_latencies = []
+
+    # ------------------------------------------------------------------
+    # Database registry
+    # ------------------------------------------------------------------
+    def add_database(self, name, db=None, prefix=None, pool_pages=256):
+        """Serve ``db`` (or lazily open ``<prefix>.meta.json/.pages``
+        through the WAL-aware dynamic opener) under ``name``.
+
+        The handle gets its own shared page cache, plan cache and
+        read/write gate; re-registering a name raises
+        :class:`~repro.errors.ServiceError`.  Returns the handle.
+        """
+        if (db is None) == (prefix is None):
+            raise ServiceError(
+                "add_database needs exactly one of db= or prefix=")
+        if db is None:
+            from repro.dynamic import open_dynamic_database
+            db = open_dynamic_database(prefix, pool_pages=pool_pages)
+        with self._db_lock:
+            if name in self._databases:
+                raise ServiceError(
+                    "database %r is already being served" % name)
+            self._databases[name] = _ServedDatabase(
+                name, db, shared_cache_pages=self.shared_cache_pages)
+        return db
+
+    def remove_database(self, name):
+        """Stop serving ``name`` (in-flight queries on it complete)."""
+        with self._db_lock:
+            entry = self._databases.pop(name, None)
+        if entry is None:
+            raise ServiceError("unknown database %r" % name)
+        for candidate in (entry.db, getattr(entry.db, "_base", None)):
+            if candidate is not None and hasattr(candidate,
+                                                 "detach_shared_cache"):
+                candidate.detach_shared_cache()
+
+    def database_names(self):
+        """Names currently served, sorted."""
+        with self._db_lock:
+            return sorted(self._databases)
+
+    def _entry(self, name):
+        with self._db_lock:
+            entry = self._databases.get(name)
+        if entry is None:
+            raise ServiceError(
+                "unknown database %r (served: %s)"
+                % (name, ", ".join(sorted(self._databases)) or "none"))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def submit(self, request):
+        """Admit ``request`` and return a Future of its RunResult.
+
+        Raises :class:`~repro.errors.ShutdownError` when draining and
+        :class:`~repro.errors.AdmissionError` when full — both *before*
+        any work is enqueued, so rejected queries cost nothing.
+        """
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest.from_dict(request)
+        # Validate the cheap parts up front so malformed queries fail
+        # typed instead of occupying a queue slot.
+        entry = self._entry(request.database)
+        self._validate(request, entry)
+        with self._lock:
+            if self._draining:
+                self.rejected_shutdown += 1
+                raise ShutdownError(
+                    "service is draining; query %r rejected"
+                    % request.database)
+            if (self._queued + self._in_flight
+                    >= self.max_in_flight + self.max_queue):
+                self.rejected_admission += 1
+                raise AdmissionError(
+                    "service at capacity (%d in flight, %d queued)"
+                    % (self._in_flight, self._queued),
+                    queue_depth=self._queued,
+                    in_flight=self._in_flight,
+                    max_in_flight=self.max_in_flight,
+                    max_queue=self.max_queue)
+            self.admitted += 1
+            self._queued += 1
+            if self._queued > self.peak_queued:
+                self.peak_queued = self._queued
+            self._drained.clear()
+            if request.query_id is None:
+                request.query_id = "q%d" % next(self._query_ids)
+        return self._executor.submit(self._execute, request, entry)
+
+    def query(self, database, algorithm, **kwargs):
+        """Blocking convenience: submit and wait for the RunResult.
+
+        Keyword arguments are :class:`QueryRequest` fields
+        (``params``, ``options``, ``faults``, ``fault_seed``,
+        ``query_id``).
+        """
+        return self.submit(QueryRequest(database, algorithm,
+                                        **kwargs)).result()
+
+    def _validate(self, request, entry):
+        spec = ALGORITHMS.get(request.algorithm)
+        if spec is None:
+            raise ServiceError(
+                "unknown algorithm %r (valid: %s)"
+                % (request.algorithm, ", ".join(sorted(ALGORITHMS))))
+        if spec[1] and entry.db.config.weight_bytes == 0:
+            raise ServiceError(
+                "algorithm %r needs edge weights, but database %r was "
+                "built without them" % (request.algorithm, entry.name))
+        start = request.params.get("start")
+        if start is not None and not (
+                0 <= int(start) < entry.db.num_vertices):
+            raise ServiceError(
+                "start vertex %r outside database %r (%d vertices)"
+                % (start, entry.name, entry.db.num_vertices))
+
+    def _build_engine(self, request, entry):
+        options = dict(ENGINE_OPTIONS)
+        options.update(request.options)
+        machine = scaled_workstation(num_gpus=options["num_gpus"],
+                                     num_ssds=options["num_ssds"])
+        return GTSEngine(
+            entry.db, machine,
+            strategy=options["strategy"],
+            num_streams=options["num_streams"],
+            micro_technique=options["micro_technique"],
+            enable_caching=options["enable_caching"],
+            cache_policy=options["cache_policy"],
+            execution=options["execution"],
+            faults=request.faults,
+            fault_seed=request.fault_seed,
+            plan_cache=entry.plan_cache)
+
+    def _execute(self, request, entry):
+        with self._lock:
+            self._queued -= 1
+            self._in_flight += 1
+            if self._in_flight > self.peak_in_flight:
+                self.peak_in_flight = self._in_flight
+        exclusive = request.faults is not None
+        failed = False
+        wall_start = _time.perf_counter()
+        try:
+            start = request.params.get("start")
+            start = (int(start) if start is not None
+                     else int(np.argmax(entry.db.out_degrees)))
+            kernel = ALGORITHMS[request.algorithm][0](request.params,
+                                                      start)
+            engine = self._build_engine(request, entry)
+            # Fault plans attach process-global state (a corrupting
+            # injector) to the shared database; run those alone so the
+            # injected budget can never leak into a neighbour's reads.
+            if exclusive:
+                entry.gate.acquire_write()
+            else:
+                entry.gate.acquire_read()
+            try:
+                result = engine.run(kernel, dataset_name=entry.name,
+                                    query_id=request.query_id)
+            finally:
+                if exclusive:
+                    entry.gate.release_write()
+                else:
+                    entry.gate.release_read()
+            return result
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            wall = _time.perf_counter() - wall_start
+            with self._lock:
+                self._in_flight -= 1
+                entry.queries += 1
+                if failed:
+                    self.failed += 1
+                else:
+                    self.completed += 1
+                self._wall_latencies.append(wall)
+                if not self._in_flight and not self._queued:
+                    self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def draining(self):
+        """True once :meth:`drain` has been called."""
+        with self._lock:
+            return self._draining
+
+    def drain(self, wait=True, timeout=None):
+        """Begin graceful shutdown: stop admitting, finish the rest.
+
+        With ``wait`` the call blocks until every admitted query has
+        completed (or ``timeout`` seconds pass — returns False then).
+        Safe to call more than once, and from signal handlers.
+        """
+        with self._lock:
+            self._draining = True
+        finished = self._drained.wait(timeout) if wait else True
+        if wait and finished:
+            self._executor.shutdown(wait=True)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _latency_quantiles(self):
+        ordered = sorted(self._wall_latencies)
+        if not ordered:
+            return {"p50": None, "p95": None, "p99": None}
+
+        def q(fraction):
+            index = min(len(ordered) - 1,
+                        int(round(fraction * (len(ordered) - 1))))
+            return ordered[index]
+
+        return {"p50": q(0.50), "p95": q(0.95), "p99": q(0.99)}
+
+    def stats(self):
+        """JSON-ready service snapshot: admission state and counters,
+        wall-clock latency percentiles, and per-database cache, lock
+        and gate statistics."""
+        with self._lock:
+            snapshot = {
+                "queue_depth": self._queued,
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected_admission": self.rejected_admission,
+                "rejected_shutdown": self.rejected_shutdown,
+                "peak_in_flight": self.peak_in_flight,
+                "peak_queued": self.peak_queued,
+                "latency_seconds": self._latency_quantiles(),
+                "admission_lock": self._lock.stats(),
+            }
+        with self._db_lock:
+            entries = list(self._databases.values())
+        snapshot["databases"] = {entry.name: entry.stats()
+                                 for entry in entries}
+        return snapshot

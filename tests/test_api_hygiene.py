@@ -11,7 +11,7 @@ import repro
 PACKAGES = [
     "repro", "repro.format", "repro.hardware", "repro.graphgen",
     "repro.core", "repro.core.kernels", "repro.baselines", "repro.bench",
-    "repro.faults",
+    "repro.faults", "repro.service",
 ]
 
 
