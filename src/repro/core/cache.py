@@ -238,6 +238,17 @@ class SharedPageCache:
     are inserted only after checksum verification succeeds, so an
     injected (or real) corrupt read can never poison the shared state.
 
+    Interaction with the zero-copy (``mode="mmap"``) page store: this
+    cache must never double-cache mmap *views* — an entry aliasing the
+    file mapping would pin the mapping alive through the LRU and turn
+    into a dangling view once the database handle is closed.  The
+    invariant is upheld at decode time, not here: the ``from_buffer``
+    parsers materialise every output array fresh (nothing aliases the
+    buffer they decode from), so what the mmap read path inserts is the
+    same self-contained page object the copy path produces, safe to
+    outlive :meth:`~repro.format.io.FileBackedDatabase.close` and
+    serving warm queries without touching the mapping at all.
+
     ``capacity_pages=None`` means unbounded (the service default for
     databases that fit host memory); ``0`` disables caching but keeps
     the accounting, which gives benchmarks a per-run-rebuild baseline

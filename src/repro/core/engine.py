@@ -42,6 +42,10 @@ from repro.hardware.machine import MachineRuntime
 #: Valid values of the ``execution`` knob.
 EXECUTION_MODES = ("auto", "paged", "batched")
 
+#: Valid values of the ``backend`` knob (host compute only; every
+#: backend produces bit-identical values and simulated times).
+BACKENDS = ("serial", "process")
+
 
 class GTSEngine:
     """Run graph-algorithm kernels by streaming topology to GPUs.
@@ -127,6 +131,33 @@ class GTSEngine:
         warm hits skip disk reads and parses, while simulated timings
         and outputs stay bit-identical to uncached runs; the run books
         its ``shared_hits`` / ``shared_misses`` deltas into the result.
+    backend:
+        Host execution backend for batched kernel compute.  ``"serial"``
+        (default) runs in-process; ``"process"`` shards each full-scan
+        round's segment ranges across a persistent ``multiprocessing``
+        worker pool (shared-memory WA vectors, workers inheriting the
+        page store's mmap read-only through fork).  Strictly host-side:
+        values AND simulated times stay bit-identical to serial — the
+        per-segment ``reduceat`` sums are computed independently per
+        shard and applied by the parent in the exact serial order.
+        Rounds a kernel cannot shard (or non-full batches) fall back to
+        in-process compute transparently.
+    backend_workers:
+        Worker-process count for ``backend="process"``; ``None`` sizes
+        the pool to the machine's CPU count (minus one for the parent,
+        capped at 8).
+    io_merge:
+        ``True`` models FlashGraph-style merged ranged I/O: every page a
+        round touches is made main-memory-resident up front, with runs
+        of adjacent pages per device booked as single ranged fetches
+        (:meth:`~repro.hardware.StorageArray.fetch_range`) and the
+        file-backed read path coalescing the same runs into single
+        ``pread`` calls.  This changes the *simulated* I/O model (fewer,
+        larger storage bookings), so it defaults to off; paged, batched
+        and every ``backend`` see identical simulated times under the
+        same ``io_merge`` setting.  Fault-injected and fully-preloaded
+        runs skip the merge (per-read injection semantics and the
+        paper's in-memory path are preserved).
     """
 
     def __init__(self, db, machine, strategy="performance", num_streams=16,
@@ -135,13 +166,21 @@ class GTSEngine:
                  mm_buffer_bytes=None, tracing=False,
                  validate_simulation=False, execution="auto",
                  faults=None, fault_seed=None, retry_policy=None,
-                 host_profile=False, plan_cache=None, shared_cache=None):
+                 host_profile=False, plan_cache=None, shared_cache=None,
+                 backend="serial", backend_workers=None, io_merge=False,
+                 worker_pools=None):
         if num_streams < 1:
             raise ConfigurationError("need at least one stream")
         if execution not in EXECUTION_MODES:
             raise ConfigurationError(
                 "unknown execution mode %r (expected one of %s)"
                 % (execution, ", ".join(EXECUTION_MODES)))
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                "unknown backend %r (expected one of %s)"
+                % (backend, ", ".join(BACKENDS)))
+        if backend_workers is not None and backend_workers < 1:
+            raise ConfigurationError("backend_workers must be >= 1")
         if faults is not None and not isinstance(faults, FaultPlan):
             faults = FaultPlan.from_dict(faults)
         if retry_policy is not None and not isinstance(retry_policy,
@@ -164,10 +203,29 @@ class GTSEngine:
         self.execution = execution
         self.host_profile = host_profile
         self.shared_cache = shared_cache
+        self.backend = backend
+        self.backend_workers = backend_workers
+        self.io_merge = bool(io_merge)
+        #: Worker-pool registry for ``backend="process"``: either the
+        #: service's per-database registry (shared across queries) or a
+        #: private one created lazily on first parallel round.  Pools
+        #: persist across runs and are released by :meth:`close`.
+        self._worker_pools = worker_pools
+        self._owns_worker_pools = worker_pools is None
         self._plan_cache = (plan_cache if plan_cache is not None
                             else RoundPlanCache())
         self._lp_runs = self._index_large_page_runs()
         self._db_topology_version = getattr(db, "topology_version", 0)
+
+    def close(self):
+        """Release resources this engine owns (its private worker pools).
+
+        Service-injected pool registries are left alone — their
+        lifecycle belongs to the database handle that owns them.
+        """
+        if self._owns_worker_pools and self._worker_pools is not None:
+            self._worker_pools.shutdown()
+            self._worker_pools = None
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -424,6 +482,17 @@ class GTSEngine:
         return totals
 
     @staticmethod
+    def _mmap_counters(db):
+        """Zero-copy store counters seen so far by ``db`` (and its base
+        database, for dynamic overlays)."""
+        hits = misses = 0
+        for candidate in (db, getattr(db, "_base", None)):
+            if candidate is not None:
+                hits += getattr(candidate, "mmap_hits", 0)
+                misses += getattr(candidate, "mmap_misses", 0)
+        return hits, misses
+
+    @staticmethod
     def _shared_cache_of(db, fallback=None):
         """The shared page cache a run reads its counters from: the
         database's attached one (the service case), the base database's
@@ -451,6 +520,7 @@ class GTSEngine:
             self._db_topology_version = version
         pool_hits_start = getattr(db, "pool_hits", 0)
         pool_misses_start = getattr(db, "pool_misses", 0)
+        mmap_hits_start, mmap_misses_start = self._mmap_counters(db)
         integrity_retries_start = self._integrity_retries(db)
         scatter_hits_start = getattr(db, "scatter_hits", 0)
         scatter_misses_start = getattr(db, "scatter_misses", 0)
@@ -502,6 +572,16 @@ class GTSEngine:
             runtime.mm_buffer.preload(range(db.num_pages))
             preloaded = True
 
+        # Merged ranged I/O applies when rounds actually hit storage and
+        # no fault injector needs per-read injection points.
+        io_merge_active = (self.io_merge and not preloaded
+                           and injector is None
+                           and runtime.storage is not None)
+        # The process backend shards full-scan segment reductions; other
+        # rounds fall back to the serial batched path transparently.
+        use_process = (self.backend == "process" and use_batched
+                       and kernel.supports_shard())
+
         # Step 1: copy WA chunks to the GPUs.
         wa_ready = self.strategy.book_wa_broadcast(runtime, wa_total)
         if hp is not None:
@@ -539,7 +619,8 @@ class GTSEngine:
             fetch_ready.clear()
             round_start = runtime.now
             fetch = self._make_fetch(runtime, fetch_ready, round_start,
-                                     stats, host_profiler=hp)
+                                     stats, host_profiler=hp,
+                                     force_generic=io_merge_active)
             if injector is not None:
                 injector.begin_round(round_index)
                 if injector.plan.gpu_loss and self._absorb_gpu_losses(
@@ -562,6 +643,10 @@ class GTSEngine:
                 else:
                     assignments = self._round_assignments(
                         pids_round, runtime, dead_gpus)
+            if io_merge_active:
+                self._merge_round_io(runtime, pids_round, assignments,
+                                     caches, fetch_ready, round_start,
+                                     stats)
             if (run_batched and injector is not None
                     and injector.plan.any_rates
                     and injector.round_faulted(pids_round, assignments)):
@@ -580,27 +665,71 @@ class GTSEngine:
                     hp.push("gather")
                     batch = plan_arrays.round_batch(pids_round)
                     hp.pop()
-                    hp.push("kernel")
-                    work = kernel.process_batch(batch, state, ctx)
-                    hp.pop()
                 else:
                     batch = plan_arrays.round_batch(pids_round)
-                    work = kernel.process_batch(batch, state, ctx)
-                stats.pages_dispatched += batch.num_pages
-                round_edges = int(work.edges_traversed.sum())
-                stats.edges_traversed += round_edges
-                stats.active_vertices += int(work.active_vertices.sum())
-                total_edges += round_edges
-                if work.next_pids is not None and len(work.next_pids):
-                    next_pid_chunks.append(work.next_pids)
-                scheduler.dispatch_round(
-                    pids_round, assignments,
-                    copy_bytes_all[pids_round], work.lane_steps,
-                    kernel.cycles_per_lane_step, caches, wa_ready,
-                    round_start, fetch, stats)
+                # Process backend: wake the forked workers on the round's
+                # segment reduction *first*, overlap the parent's own
+                # simulated-time booking with their compute, and apply
+                # their partials with the serial path's ordered update —
+                # same bytes in the state vector, same simulated times.
+                job = None
+                if (use_process and batch.num_segments
+                        and len(pids_round) == plan_arrays.num_pages):
+                    pool = self._pool_registry().get(
+                        db, kernel, state, batch,
+                        workers=self.backend_workers)
+                    job = pool.start_round(kernel.round_vector(state))
+                try:
+                    if hp is not None:
+                        hp.push("kernel")
+                    if job is not None:
+                        work = kernel.batch_work(batch, ctx)
+                    else:
+                        work = kernel.process_batch(batch, state, ctx)
+                    if hp is not None:
+                        hp.pop()
+                    stats.pages_dispatched += batch.num_pages
+                    round_edges = int(work.edges_traversed.sum())
+                    stats.edges_traversed += round_edges
+                    stats.active_vertices += int(
+                        work.active_vertices.sum())
+                    total_edges += round_edges
+                    if work.next_pids is not None and len(work.next_pids):
+                        next_pid_chunks.append(work.next_pids)
+                    scheduler.dispatch_round(
+                        pids_round, assignments,
+                        copy_bytes_all[pids_round], work.lane_steps,
+                        kernel.cycles_per_lane_step, caches, wa_ready,
+                        round_start, fetch, stats)
+                except BaseException:
+                    # Leave the pool round-less before propagating so
+                    # later queries sharing it don't block on our
+                    # abandoned round.
+                    if job is not None:
+                        try:
+                            job.collect()
+                        except Exception:
+                            pass
+                    raise
+                if job is not None:
+                    if hp is not None:
+                        hp.push("kernel")
+                    kernel.apply_segment_results(batch, state,
+                                                 job.collect())
+                    if hp is not None:
+                        hp.pop()
             else:
+                # Merged host I/O: warm the page pool in pool-sized
+                # chunks so consecutive pages coalesce into ranged
+                # preads instead of one read per page() call.
+                db_prefetch = (getattr(db, "prefetch", None)
+                               if io_merge_active else None)
+                chunk = max(1, min(64, getattr(db, "pool_capacity", 64)))
                 for i, pid in enumerate(pids_round):
                     pid = int(pid)
+                    if db_prefetch is not None and i % chunk == 0:
+                        db_prefetch(
+                            [int(p) for p in pids_round[i:i + chunk]])
                     page = db.page(pid)
                     if hp is not None:
                         hp.push("kernel")
@@ -720,6 +849,7 @@ class GTSEngine:
             # non-destructively so its owner can keep measuring.
             host_profile = (hp.finish() if owns_profiler
                             else hp.profile())
+        mmap_hits_now, mmap_misses_now = self._mmap_counters(db)
         return RunResult(
             algorithm=kernel.name,
             dataset=dataset_name or db.name,
@@ -746,6 +876,8 @@ class GTSEngine:
                          if shared is not None else 0),
             shared_misses=(shared.misses - shared_misses_start
                            if shared is not None else 0),
+            mmap_hits=mmap_hits_now - mmap_hits_start,
+            mmap_misses=mmap_misses_now - mmap_misses_start,
             transfer_busy_seconds=sum(
                 g.copy_engine.busy_time for g in runtime.gpus),
             kernel_busy_seconds=sum(
@@ -760,6 +892,7 @@ class GTSEngine:
             strategy=self.strategy.name,
             cache_policy=self.cache_policy,
             execution="batched" if use_batched else "paged",
+            backend=self.backend,
             notes="preloaded" if preloaded else "cold storage",
             timeline=timeline,
             trace=recorder,
@@ -769,6 +902,55 @@ class GTSEngine:
         )
 
     # ------------------------------------------------------------------
+    def _pool_registry(self):
+        """The worker-pool registry for ``backend="process"`` (built
+        lazily when the engine owns it; the service injects a shared
+        per-database one via ``worker_pools=``)."""
+        if self._worker_pools is None:
+            from repro.core.parallel import WorkerPoolRegistry
+            self._worker_pools = WorkerPoolRegistry()
+        return self._worker_pools
+
+    def _merge_round_io(self, runtime, pids_round, assignments, caches,
+                        fetch_ready, round_start, stats):
+        """Issue the round's storage misses as merged ranged reads.
+
+        The lazy fetch path reads one page per :meth:`StorageArray.fetch`
+        command; with ``io_merge`` the engine resolves the round's I/O
+        plan up front — every page some assigned GPU will actually have
+        to stream and the MM buffer does not hold — and books it through
+        :meth:`StorageArray.fetch_range`, which coalesces adjacent pages
+        per device into single ranged commands.  Ready times land in
+        ``fetch_ready``, which the per-round fetch closure consults
+        first, so dispatch proceeds unchanged.
+
+        The predicted miss set is exact for pages absent from a GPU
+        cache at round start (a page is probed once per round, so
+        nothing can admit it earlier); a page evicted between this scan
+        and its probe simply falls back to a lazy single-page fetch.
+        """
+        num_gpus = runtime.num_gpus
+        mm_buffer = runtime.mm_buffer
+        misses = []
+        for i, pid in enumerate(pids_round.tolist()):
+            gpus = (assignments[i] if assignments is not None
+                    else self.strategy.assign(pid, num_gpus))
+            if all(pid in caches[g] for g in gpus):
+                continue
+            if mm_buffer.lookup(pid, ts=round_start):
+                stats.pages_from_buffer += 1
+                fetch_ready[pid] = round_start
+            else:
+                stats.pages_from_storage += 1
+                misses.append(pid)
+        if not misses:
+            return
+        times = runtime.storage.fetch_range(
+            misses, self.db.page_bytes(), round_start)
+        for pid in misses:
+            mm_buffer.admit(pid)
+            fetch_ready[pid] = times[pid][1]
+
     def _fetch(self, runtime, fetch_ready, pid, round_start, stats):
         """Make a page available in main memory; returns its ready time.
 
@@ -789,7 +971,7 @@ class GTSEngine:
         return ready
 
     def _make_fetch(self, runtime, fetch_ready, round_start, stats,
-                    host_profiler=None):
+                    host_profiler=None, force_generic=False):
         """Build one round's ``fetch(pid) -> ready time`` closure.
 
         Untraced runs with the default pinned MM buffer get an inlined
@@ -802,7 +984,12 @@ class GTSEngine:
         SSD fault injection and adjacent-fetch accounting live.  Both
         variants book identical simulated times.
         """
-        if (runtime.recorder is not None or runtime.storage is None
+        # ``force_generic`` (io_merge rounds): the inlined closure's
+        # ``bulk_ready`` replays misses against storage without checking
+        # ``fetch_ready`` first, which would double-book reads the merge
+        # pass already issued — the generic method honours the memo.
+        if (force_generic
+                or runtime.recorder is not None or runtime.storage is None
                 or runtime.storage.fault_injector is not None
                 or host_profiler is not None
                 or runtime.mm_buffer.policy != "pin"):

@@ -1,0 +1,311 @@
+"""Multiprocess host backend: persistent worker pools for sharded kernels.
+
+``GTSEngine(backend="process")`` splits each full-scan round's segment
+reduction — the ``reduceat`` over the round batch's scatter-ordered
+edges, 50-75 % of the serial host time — across a pool of forked worker
+processes.  The split is engineered so results are **bit-identical** to
+the serial path:
+
+* Segments never straddle a shard boundary, and a segment reduction is
+  an independent left-to-right fold, so a shard-local ``reduceat``
+  produces exactly the bytes the full-batch ``reduceat`` would.
+* The per-element contribution math commutes with the gather (same
+  inputs per element either way), so shards may gather first.
+* The *ordered* state update (``np.add.at`` / ``np.minimum.at``) stays
+  in the parent, applied over the complete per-segment partials in
+  batch order — every rounding step matches serial execution.
+
+Mechanics: pools are forked (``fork`` start method only — the shard
+closure and its captured batch arrays are inherited, never pickled, and
+workers share the parent's page-store ``mmap`` read-only for free).
+Per round the parent copies the kernel's read-only vector into a
+:class:`multiprocessing.shared_memory.SharedMemory` block, pokes each
+worker over a pipe, and workers write their partials into a shared
+output block at their segment offsets — two shm blocks total, zero
+per-round serialisation.  ``start_round`` returns before workers
+finish, so the parent overlaps simulated-time booking (``dispatch_round``)
+with worker compute and only blocks in ``collect``.
+
+Pools are cached in a :class:`WorkerPoolRegistry` keyed by
+``(topology_version, kernel name, shard params, segment count)``; a
+dynamic-update version bump shuts stale pools down.  The engine owns a
+registry per run unless the service layer injects a shared one
+(``GTSEngine(worker_pools=...)``), which it drains on shutdown.
+"""
+
+import atexit
+import multiprocessing
+import os
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Seconds a round waits for one worker's ack before declaring the pool
+#: wedged.  Generous: shards are pure NumPy over in-memory arrays.
+_ROUND_TIMEOUT = 120.0
+
+
+def default_workers():
+    """Worker count when the caller does not choose: leave one core for
+    the parent (it books simulated time while workers reduce), cap at 8
+    — segment reduction stops scaling long before that on one socket."""
+    return max(1, min(8, (os.cpu_count() or 1) - 1))
+
+
+def shard_bounds(seg_starts, num_segments, num_edges, workers):
+    """Split ``[0, num_segments)`` into ``workers`` contiguous shards
+    balanced by *edge* count (segments are wildly skewed on power-law
+    graphs, edges are the actual work).  Returns an int64 array of
+    ``workers + 1`` monotone bounds; shards may be empty on tiny
+    batches."""
+    workers = max(1, int(workers))
+    if workers == 1 or num_segments <= 1:
+        return np.asarray([0, num_segments], dtype=np.int64)
+    targets = (np.arange(1, workers, dtype=np.int64) * num_edges) // workers
+    cuts = np.searchsorted(seg_starts, targets, side="left")
+    bounds = np.concatenate(
+        [[0], cuts, [num_segments]]).astype(np.int64, copy=False)
+    return np.maximum.accumulate(np.clip(bounds, 0, num_segments))
+
+
+def _worker_loop(conn, shard_fn, vector, sums, s0, s1):
+    """Worker body: serve rounds until the stop sentinel.
+
+    Runs in a forked child, so ``shard_fn`` (with its captured batch
+    arrays), the read-only page-store ``mmap`` and the two shm-backed
+    arrays all arrived by inheritance — the shared mappings stay shared
+    after fork, so the parent's per-round vector writes are visible here
+    and the partials written to ``sums[s0:s1]`` are visible there.
+    Nothing is ever pickled or re-attached by name."""
+    try:
+        while True:
+            token = conn.recv()
+            if token is None:
+                break
+            try:
+                sums[s0:s1] = shard_fn(vector, s0, s1)
+                conn.send(("ok", None))
+            except Exception as exc:  # surfaced in collect()
+                conn.send(("err", "%s: %s" % (type(exc).__name__, exc)))
+    except (EOFError, KeyboardInterrupt):  # parent died / interrupt
+        pass
+
+
+class WorkerPool:
+    """A persistent pool of forked workers for one shard function.
+
+    The pool is built once per ``(topology, kernel, params, segments)``
+    combination and reused every round; per-round cost is one vector
+    memcpy into shared memory plus a pipe round-trip per worker.
+    """
+
+    def __init__(self, shard_fn, bounds, vector_template, sums_dtype,
+                 num_segments):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "backend='process' needs the fork start method (shard "
+                "closures are inherited, not pickled); this platform "
+                "offers only %r"
+                % (multiprocessing.get_all_start_methods(),))
+        ctx = multiprocessing.get_context("fork")
+        vector_template = np.ascontiguousarray(vector_template)
+        self._vec_dtype = vector_template.dtype
+        self._vec_len = len(vector_template)
+        self._sums_dtype = np.dtype(sums_dtype)
+        self.num_segments = int(num_segments)
+        self.bounds = np.asarray(bounds, dtype=np.int64)
+        self.num_workers = len(self.bounds) - 1
+        self.rounds_dispatched = 0
+        self._collected = True
+        # Held from start_round until collect returns: concurrent
+        # service queries sharing one pool serialise their overlapping
+        # rounds here instead of corrupting the shared vector.
+        self._round_lock = threading.Lock()
+        self._vec_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, vector_template.nbytes))
+        self._sums_shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, self.num_segments * self._sums_dtype.itemsize))
+        self._vector = np.frombuffer(
+            self._vec_shm.buf, dtype=self._vec_dtype, count=self._vec_len)
+        self._sums = np.frombuffer(
+            self._sums_shm.buf, dtype=self._sums_dtype,
+            count=self.num_segments)
+        self._conns = []
+        self._procs = []
+        try:
+            for w in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_loop,
+                    args=(child_conn, shard_fn, self._vector, self._sums,
+                          int(self.bounds[w]), int(self.bounds[w + 1])),
+                    daemon=True)
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except BaseException:
+            self.shutdown()
+            raise
+        # Belt and braces: daemon children die with the interpreter, but
+        # the shm segments would leak names without an explicit unlink.
+        self._atexit = atexit.register(self.shutdown)
+
+    @property
+    def closed(self):
+        return self._vec_shm is None
+
+    def start_round(self, vector):
+        """Publish ``vector`` and wake every worker; returns ``self`` as
+        the round handle.  The caller overlaps its own work, then calls
+        :meth:`collect`."""
+        self._round_lock.acquire()
+        try:
+            if self.closed:
+                raise ConfigurationError("worker pool is shut down")
+            if not self._collected:
+                raise ConfigurationError(
+                    "start_round called before the previous round was "
+                    "collected")
+            np.copyto(self._vector, vector, casting="no")
+            for conn in self._conns:
+                conn.send("go")
+            self._collected = False
+            self.rounds_dispatched += 1
+        except BaseException:
+            self._round_lock.release()
+            raise
+        return self
+
+    def collect(self):
+        """Block until every worker acked this round; returns the full
+        per-segment partials array (copied out of shared memory, so the
+        caller may hold it past the pool's lifetime)."""
+        if self._collected:
+            raise ConfigurationError("no round in flight to collect")
+        try:
+            self._collected = True
+            for w, conn in enumerate(self._conns):
+                if not conn.poll(_ROUND_TIMEOUT):
+                    raise RuntimeError(
+                        "process-backend worker %d did not answer within "
+                        "%.0f s (pid %s, alive=%s)"
+                        % (w, _ROUND_TIMEOUT, self._procs[w].pid,
+                           self._procs[w].is_alive()))
+                status, detail = conn.recv()
+                if status != "ok":
+                    raise RuntimeError(
+                        "process-backend worker %d failed: %s"
+                        % (w, detail))
+            return self._sums.copy()
+        finally:
+            self._round_lock.release()
+
+    def shutdown(self):
+        """Stop workers, join them, release the shared blocks.
+        Idempotent; safe to call on a half-constructed pool."""
+        if self.closed:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        # Drop the aliasing views before close() or numpy's exports
+        # raise BufferError.
+        self._vector = None
+        self._sums = None
+        for shm in (self._vec_shm, self._sums_shm):
+            if shm is not None:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._vec_shm = None
+        self._sums_shm = None
+        handle = getattr(self, "_atexit", None)
+        if handle is not None:
+            atexit.unregister(handle)
+            self._atexit = None
+
+    def __del__(self):  # pragma: no cover - GC ordering varies
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+class WorkerPoolRegistry:
+    """Worker pools keyed by topology + kernel so repeated runs (and the
+    service layer's repeated queries) reuse forked workers instead of
+    paying pool construction every run."""
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+        self._pools = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.reused = 0
+        self.evicted = 0
+
+    def get(self, db, kernel, state, batch, workers=None):
+        """The pool for this (database topology, kernel, batch) — built
+        on first use, reused afterwards.  Pools keyed to a stale
+        topology version are shut down on the way."""
+        version = getattr(db, "topology_version", 0)
+        workers = workers or self.max_workers or default_workers()
+        key = (version, kernel.name, kernel.shard_params(state),
+               batch.num_segments, int(workers))
+        with self._lock:
+            stale = [k for k in self._pools if k[0] != version]
+            for k in stale:
+                self._pools.pop(k).shutdown()
+                self.evicted += 1
+            pool = self._pools.get(key)
+            if pool is not None and not pool.closed:
+                self.reused += 1
+                return pool
+            bounds = shard_bounds(batch.seg_starts, batch.num_segments,
+                                  batch.num_edges, workers)
+            pool = WorkerPool(
+                kernel.make_shard_fn(batch, state), bounds,
+                kernel.round_vector(state), kernel.shard_dtype,
+                batch.num_segments)
+            self._pools[key] = pool
+            self.created += 1
+            return pool
+
+    def shutdown(self):
+        """Shut every pool down (service drain / engine close)."""
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown()
+
+    def stats(self):
+        """JSON-ready counters for the service stats endpoint."""
+        with self._lock:
+            return {
+                "pools": len(self._pools),
+                "created": self.created,
+                "reused": self.reused,
+                "evicted": self.evicted,
+                "workers": {
+                    "%s/%s" % (k[1], k[0]): p.num_workers
+                    for k, p in self._pools.items()},
+            }

@@ -198,7 +198,14 @@ class PagePlan:
         rec_counts = np.zeros(self.num_pages, dtype=np.int64)
         edge_counts = np.zeros(self.num_pages, dtype=np.int64)
         any_weights = False
+        # File-backed stores expose prefetch(): warm the pool ahead of
+        # the scan in pool-sized chunks so runs of consecutive pages
+        # coalesce into single ranged reads instead of one pread each.
+        prefetch = getattr(db, "prefetch", None)
+        chunk = max(1, min(64, getattr(db, "pool_capacity", 64)))
         for pid in range(self.num_pages):
+            if prefetch is not None and pid % chunk == 0:
+                prefetch(range(pid, min(pid + chunk, self.num_pages)))
             page = db.page(pid)
             degrees = page.degrees()
             deg_parts.append(degrees)

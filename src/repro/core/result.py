@@ -68,6 +68,12 @@ class RunResult:
     #: interval attributes the whole shared ledger's movement.
     shared_hits: int = 0
     shared_misses: int = 0
+    #: Zero-copy store traffic (``mode="mmap"`` file-backed databases
+    #: only): a hit decoded straight from an already-verified mapped
+    #: region; a miss paid first-touch verification or fell back to the
+    #: copy read path.
+    mmap_hits: int = 0
+    mmap_misses: int = 0
     transfer_busy_seconds: float = 0.0
     kernel_busy_seconds: float = 0.0
     #: Sum of per-stream kernel occupancy (what a Figure 4-style stream
@@ -82,6 +88,8 @@ class RunResult:
     cache_policy: str = "lru"
     #: Which round-execution path actually ran: "paged" or "batched".
     execution: str = "paged"
+    #: Host compute backend the engine ran with: "serial" or "process".
+    backend: str = "serial"
     engine: str = "GTS"
     notes: Optional[str] = None
     #: Figure 4-style ASCII stream timeline (populated when the engine
@@ -149,6 +157,12 @@ class RunResult:
         return self.shared_hits / total if total else 0.0
 
     @property
+    def mmap_hit_rate(self):
+        """Zero-copy hit rate of the mmap page store during this run."""
+        total = self.mmap_hits + self.mmap_misses
+        return self.mmap_hits / total if total else 0.0
+
+    @property
     def transfer_to_kernel_ratio(self):
         """The paper's Table 1 quantity: transfer time : kernel time.
 
@@ -174,6 +188,8 @@ class RunResult:
         if self.pool_hits + self.pool_misses:
             pool = ", page-pool hit rate %.1f%%" % (
                 100.0 * self.pool_hit_rate)
+        if self.mmap_hits + self.mmap_misses:
+            pool += ", mmap hit rate %.1f%%" % (100.0 * self.mmap_hit_rate)
         if self.fault_stats:
             pool += ", %d fault(s) injected (%d retries)" % (
                 self.fault_stats.get("faults_injected", 0),
@@ -226,8 +242,12 @@ class RunResult:
             "shared_hits": self.shared_hits,
             "shared_misses": self.shared_misses,
             "shared_hit_rate": self.shared_hit_rate,
+            "mmap_hits": self.mmap_hits,
+            "mmap_misses": self.mmap_misses,
+            "mmap_hit_rate": self.mmap_hit_rate,
             "query_id": self.query_id,
             "execution": self.execution,
+            "backend": self.backend,
             "transfer_busy_seconds": self.transfer_busy_seconds,
             "kernel_busy_seconds": self.kernel_busy_seconds,
             "kernel_stream_seconds": self.kernel_stream_seconds,

@@ -656,7 +656,7 @@ class DynamicGraphDatabase(GraphDatabase):
 
 
 def open_dynamic_database(prefix, pool_pages=None, fsync=True,
-                          recorder=None):
+                          recorder=None, store_mode="copy"):
     """Open ``<prefix>``'s base + WAL and replay committed batches.
 
     This is the crash-recovery entry point: the base pages come from
@@ -669,9 +669,14 @@ def open_dynamic_database(prefix, pool_pages=None, fsync=True,
     its batches are already in the base pages, so it is discarded
     instead of replayed.  A log *ahead* of its base cannot arise from
     any crash ordering and raises :class:`~repro.errors.WALError`.
+
+    ``store_mode="mmap"`` (with ``pool_pages``) serves base pages
+    zero-copy from the mapped pages file; WAL deltas overlay on top as
+    usual, since the overlay rebuilds its own page objects.
     """
     if pool_pages is not None:
-        base = FileBackedDatabase(prefix, pool_pages=pool_pages)
+        base = FileBackedDatabase(prefix, pool_pages=pool_pages,
+                                  mode=store_mode)
     else:
         base = load_database(prefix)
     base_epoch = getattr(base, "wal_epoch", 0)

@@ -36,6 +36,7 @@ rather than a torn half-write.
 """
 
 import json
+import mmap
 import os
 import warnings
 import zlib
@@ -137,6 +138,16 @@ def save_database(db, prefix, wal_epoch=None):
             str(page.page_id): page.total_degree
             for page in db.pages if page.kind.value == "LP"
         },
+        # Physical layout contract for the pages file.  Readers validate
+        # this before memory-mapping: a stride or endianness mismatch
+        # must surface as a typed IntegrityError, never a garbled parse
+        # of a file whose geometry the loader guessed wrong.
+        "pages_layout": {
+            "stride": config.page_size,
+            "count": len(db.pages),
+            "checksum": "crc32",
+            "endianness": "little",
+        },
     }
     checksums = []
     with open(pages_path + ".tmp", "wb") as handle:
@@ -170,6 +181,33 @@ def _checksums_from_metadata(metadata, source):
             % source, stacklevel=3)
         return None
     return checksums
+
+
+def _validate_pages_layout(metadata, config, num_pages, source):
+    """Check the ``pages_layout`` stanza against the loader's geometry.
+
+    Databases saved before the stanza existed pass (legacy layout is the
+    current layout); a *present but wrong* stanza raises a typed
+    :class:`IntegrityError` so the mismatch is caught before any byte of
+    the pages file is interpreted — mapping a file at the wrong stride
+    would otherwise decode as plausible-looking garbage.
+    """
+    layout = metadata.get("pages_layout")
+    if layout is None:
+        return
+    expected = {
+        "stride": config.page_size,
+        "count": num_pages,
+        "checksum": "crc32",
+        "endianness": "little",
+    }
+    for key, want in expected.items():
+        got = layout.get(key)
+        if got != want:
+            raise IntegrityError(
+                "%s: pages_layout %s mismatch (metadata says %r, loader "
+                "expects %r); refusing to interpret the pages file"
+                % (source, key, got, want))
 
 
 def _verify_page_bytes(data, page_id, expected_crc, source):
@@ -212,6 +250,8 @@ def load_database(prefix, host_profiler=None):
     lp_total_degrees = {int(k): v for k, v
                         in metadata["lp_total_degrees"].items()}
     checksums = _checksums_from_metadata(metadata, meta_path)
+    _validate_pages_layout(metadata, config, len(metadata["directory"]),
+                           meta_path)
 
     directory = []
     pages = []
@@ -299,9 +339,31 @@ class FileBackedDatabase(GraphDatabase):
     (``self.shared_cache``), pool misses consult it before touching the
     pages file and populate it after a checksum-verified parse, so warm
     queries skip the disk read and the byte-level decode entirely.
+
+    Store modes (``mode=``):
+
+    * ``"copy"`` (default) — every pool/shared miss issues one
+      ``os.pread`` on a persistent descriptor, verifies the bytes, and
+      decodes them with the reference per-byte parsers.
+    * ``"mmap"`` — the pages file is memory-mapped read-only once at
+      open; misses decode straight from a NumPy view over the mapping
+      with the vectorized ``from_buffer`` parsers.  Each page-sized
+      region is checksum-verified exactly once, on first touch (the
+      ``_verified`` bitmap), and that first touch books the host-I/O
+      counters — later touches are zero-copy ``mmap_hits``.  Decoded
+      pages materialise fresh arrays (nothing aliases the mapping), so
+      the shared cache never holds mmap views and cached pages outlive
+      :meth:`close`.  The copy path remains the fallback whenever the
+      mapping cannot be trusted: a fault injector is attached (injected
+      corruption needs mutable bytes), or a mapped region fails its
+      checksum (verified re-read recovers transient damage; persistent
+      damage raises :class:`IntegrityError`, never a poisoned view).
     """
 
-    def __init__(self, prefix, pool_pages=256):
+    def __init__(self, prefix, pool_pages=256, mode="copy"):
+        if mode not in ("copy", "mmap"):
+            raise ConfigurationError(
+                "unknown store mode %r (expected 'copy' or 'mmap')" % (mode,))
         metadata = _read_metadata(prefix)
         config = PageFormatConfig(**metadata["config"])
         rvt = RecordVertexTable(metadata["rvt"]["start_vids"],
@@ -333,9 +395,14 @@ class FileBackedDatabase(GraphDatabase):
             int(k): v for k, v in metadata["lp_total_degrees"].items()}
         self._page_checksums = _checksums_from_metadata(
             metadata, prefix + ".meta.json")
+        _validate_pages_layout(metadata, config, len(directory),
+                               prefix + ".meta.json")
         if pool_pages < 1:
             raise FormatError("page pool needs at least one slot")
         self._pool_pages = pool_pages
+        #: Public pool capacity, used by plan builders to size prefetch
+        #: chunks so a warm-ahead never evicts its own pages.
+        self.pool_capacity = pool_pages
         self._pool = OrderedDict()
         self.pool_hits = 0
         self.pool_misses = 0
@@ -359,6 +426,43 @@ class FileBackedDatabase(GraphDatabase):
         self.host_reads = 0
         self.host_adjacent_reads = 0
         self._last_read_pid = -2
+        #: Store mode and the zero-copy machinery.  ``mmap_hits`` counts
+        #: parses served zero-copy from an already-verified mapped
+        #: region; ``mmap_misses`` counts parses that paid first-touch
+        #: verification or fell back to the copy path.
+        self.store_mode = mode
+        self.mmap_hits = 0
+        self.mmap_misses = 0
+        self._fd = os.open(self._pages_path, os.O_RDONLY)
+        self._mmap = None
+        self._mmap_view = None
+        self._verified = None
+        if mode == "mmap" and actual > 0:
+            self._mmap = mmap.mmap(self._fd, 0, access=mmap.ACCESS_READ)
+            self._mmap_view = np.frombuffer(self._mmap, dtype=np.uint8)
+            self._verified = np.zeros(len(directory), dtype=bool)
+
+    # ------------------------------------------------------------------
+    def close(self):
+        """Release the mapping and the file descriptor (idempotent).
+
+        Pages already decoded (pool, shared cache, plan arrays) hold
+        only materialised arrays, so they stay valid after close.
+        """
+        self._mmap_view = None
+        self._verified = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __del__(self):  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def attach_fault_injector(self, injector):
@@ -412,6 +516,8 @@ class FileBackedDatabase(GraphDatabase):
                 # Only verified parses reach this line (_parse_page
                 # raises on persistent checksum mismatch), so injected
                 # or real corruption can never poison the shared cache.
+                # Safe in mmap mode too: from_buffer materialises fresh
+                # arrays, so the cached page never aliases the mapping.
                 shared.put(page_id, self.topology_version, page)
         with self._pool_lock:
             racer = self._pool.get(page_id)
@@ -425,16 +531,150 @@ class FileBackedDatabase(GraphDatabase):
             self._pool[page_id] = page
         return page
 
+    def _pool_insert(self, page_id, page):
+        """Insert a parsed page into the pool (evicting LRU entries)."""
+        with self._pool_lock:
+            racer = self._pool.get(page_id)
+            if racer is not None:
+                self._pool.move_to_end(page_id)
+                return racer
+            while len(self._pool) >= self._pool_pages:
+                self._pool.popitem(last=False)
+            self._pool[page_id] = page
+        return page
+
+    def prefetch(self, page_ids):
+        """Warm the pool with ``page_ids``, merging adjacent disk reads.
+
+        Runs of consecutive page IDs (in request order) that miss both
+        the pool and the shared cache are fetched as single ranged
+        reads.  In copy mode each run is one ``pread`` booking one
+        ``host_reads`` plus ``len(run) - 1`` ``host_adjacent_reads`` —
+        the same shape :class:`~repro.hardware.StorageArray` models for
+        its simulated adjacent fetches.  In mmap mode each region's
+        first-touch verification is booked individually, with the
+        adjacency counter tracking the run shape.  Pool hit/miss and
+        shared-cache accounting per page matches what per-page
+        :meth:`page` calls would record.  Returns the number of pages
+        actually read.
+
+        With a fault injector attached the per-page path is used
+        unchanged (injection and retry semantics are per-read).
+        """
+        pending = []
+        with self._pool_lock:
+            for pid in page_ids:
+                pid = int(pid)
+                if pid < 0 or pid >= len(self.directory):
+                    raise FormatError("unknown page ID %d" % pid)
+                if pid in self._pool:
+                    self._pool.move_to_end(pid)
+                    self.pool_hits += 1
+                else:
+                    self.pool_misses += 1
+                    pending.append(pid)
+        if not pending:
+            return 0
+        seen = set()
+        misses = [p for p in pending if not (p in seen or seen.add(p))]
+        shared = self.shared_cache
+        disk = []
+        for pid in misses:
+            page = shared.get(pid, self.topology_version) \
+                if shared is not None else None
+            if page is not None:
+                self._pool_insert(pid, page)
+            else:
+                disk.append(pid)
+        if self.fault_injector is not None:
+            for pid in disk:
+                page = self._parse_page(pid)
+                if shared is not None:
+                    shared.put(pid, self.topology_version, page)
+                self._pool_insert(pid, page)
+            return len(disk)
+        # Same profiling hook as :meth:`page`: the span covers reads and
+        # decodes only, never the pool/shared-cache dict probes above.
+        hp = self.host_profiler
+        if hp is not None and disk:
+            hp.push("page_parse")
+        try:
+            self._prefetch_disk(disk, shared)
+        finally:
+            if hp is not None and disk:
+                hp.pop()
+        return len(disk)
+
+    def _prefetch_disk(self, disk, shared):
+        """Read + decode ``disk``'s pages (deduped pool/shared misses),
+        coalescing consecutive runs into ranged reads."""
+        size = self.config.page_size
+        start = 0
+        while start < len(disk):
+            stop = start + 1
+            while stop < len(disk) and disk[stop] == disk[stop - 1] + 1:
+                stop += 1
+            run = disk[start:stop]
+            start = stop
+            if self._mmap_view is not None:
+                pages = [self._parse_page_mmap(pid) for pid in run]
+            else:
+                buf = os.pread(self._fd, len(run) * size, run[0] * size)
+                with self._io_lock:
+                    self.host_bytes_read += len(buf)
+                    self.host_reads += 1
+                    if run[0] == self._last_read_pid + 1:
+                        self.host_adjacent_reads += 1
+                    self.host_adjacent_reads += len(run) - 1
+                    self._last_read_pid = run[-1]
+                pages = []
+                for i, pid in enumerate(run):
+                    data = buf[i * size:(i + 1) * size]
+                    try:
+                        pages.append(self._decode_verified(pid, data))
+                    except IntegrityError:
+                        # Damaged slice of the ranged read: retry it as
+                        # a standalone read with the full verify loop.
+                        with self._io_lock:
+                            self.integrity_retries += 1
+                        pages.append(self._parse_page_copy(pid))
+            for pid, page in zip(run, pages):
+                if shared is not None:
+                    shared.put(pid, self.topology_version, page)
+                self._pool_insert(pid, page)
+
+    def _decode_verified(self, page_id, data):
+        """Verify one page's bytes and decode them (copy path)."""
+        if self._page_checksums is not None:
+            _verify_page_bytes(data, page_id,
+                               self._page_checksums[page_id],
+                               self._pages_path)
+        entry = self.directory[page_id]
+        if entry.kind == "SP":
+            page = SmallPage.from_bytes(data, page_id, entry.num_records,
+                                        self.config)
+        else:
+            chunk_index = int(self.rvt.lp_ranges[page_id])
+            page = LargePage.from_bytes(
+                data, page_id, chunk_index, self.config,
+                total_degree=self._lp_total_degrees.get(page_id))
+        page.adj_vids = self.rvt.translate(page.adj_pids, page.adj_slots)
+        return page
+
     def pool_lock_stats(self):
         """Pool and I/O-counter lock contention (service stats)."""
         return {"pool": self._pool_lock.stats(),
                 "io": self._io_lock.stats()}
 
     def _read_page_bytes(self, page_id):
-        """One raw page read; a fault injector may corrupt the result."""
-        with open(self._pages_path, "rb") as handle:
-            handle.seek(page_id * self.config.page_size)
-            data = handle.read(self.config.page_size)
+        """One raw page read; a fault injector may corrupt the result.
+
+        ``os.pread`` on the persistent descriptor: offset-explicit, so
+        concurrent readers (threads or forked worker processes sharing
+        the descriptor) never race on a seek position.
+        """
+        data = os.pread(self._fd, self.config.page_size,
+                        page_id * self.config.page_size)
         with self._io_lock:
             self.host_bytes_read += len(data)
             self.host_reads += 1
@@ -447,6 +687,71 @@ class FileBackedDatabase(GraphDatabase):
         return data
 
     def _parse_page(self, page_id):
+        if self._mmap_view is not None and self.fault_injector is None:
+            return self._parse_page_mmap(page_id)
+        if self._mmap_view is not None:
+            # Injected corruption needs mutable bytes; route this parse
+            # through the copy path so the fault model stays intact.
+            with self._io_lock:
+                self.mmap_misses += 1
+        return self._parse_page_copy(page_id)
+
+    def _touch_mapped_region(self, page_id):
+        """First-touch verify + I/O booking for one mapped page region.
+
+        Returns ``True`` when the region is (now) verified, ``False``
+        when its bytes fail the checksum — the caller must fall back to
+        a verified copy re-read instead of decoding a damaged view.
+        """
+        if self._verified[page_id]:
+            return True
+        size = self.config.page_size
+        if self._page_checksums is not None:
+            view = self._mmap_view[page_id * size:(page_id + 1) * size]
+            if zlib.crc32(view) != self._page_checksums[page_id]:
+                return False
+        with self._io_lock:
+            if not self._verified[page_id]:
+                self._verified[page_id] = True
+                self.host_bytes_read += size
+                self.host_reads += 1
+                if page_id == self._last_read_pid + 1:
+                    self.host_adjacent_reads += 1
+                self._last_read_pid = page_id
+        return True
+
+    def _parse_page_mmap(self, page_id):
+        entry = self.directory[page_id]
+        size = self.config.page_size
+        first_touch = not self._verified[page_id]
+        if not self._touch_mapped_region(page_id):
+            # The mapped bytes are damaged.  A copy re-read goes through
+            # the kernel read path and may observe clean bytes (transient
+            # page-cache damage); persistent file damage raises the typed
+            # IntegrityError from the copy path's verify loop.  Either
+            # way no caller ever decodes the poisoned view.
+            with self._io_lock:
+                self.integrity_retries += 1
+                self.mmap_misses += 1
+            return self._parse_page_copy(page_id)
+        with self._io_lock:
+            if first_touch:
+                self.mmap_misses += 1
+            else:
+                self.mmap_hits += 1
+        view = self._mmap_view[page_id * size:(page_id + 1) * size]
+        if entry.kind == "SP":
+            page = SmallPage.from_buffer(view, page_id, entry.num_records,
+                                         self.config)
+        else:
+            chunk_index = int(self.rvt.lp_ranges[page_id])
+            page = LargePage.from_buffer(
+                view, page_id, chunk_index, self.config,
+                total_degree=self._lp_total_degrees.get(page_id))
+        page.adj_vids = self.rvt.translate(page.adj_pids, page.adj_slots)
+        return page
+
+    def _parse_page_copy(self, page_id):
         entry = self.directory[page_id]
         data = self._read_page_bytes(page_id)
         if self._page_checksums is not None:

@@ -50,6 +50,8 @@ class StorageArray:
         #: generic fetch path (traced, fault-injected or host-profiled
         #: runs); the engine's inlined bulk replay bypasses it.
         self.adjacent_fetches = 0
+        #: Ranged (multi-page) reads booked by :meth:`fetch_range`.
+        self.ranged_fetches = 0
         self._last_fetch_pid = [None] * len(self.specs)
         #: Per-device fault bookkeeping (parallel to ``specs``).
         self.fetch_retries = [0] * len(self.specs)
@@ -108,6 +110,63 @@ class StorageArray:
                 "ssd_fetch", "storage", self.specs[device].name,
                 start, end, page=page_id, bytes=num_bytes)
         return start, end
+
+    def fetch_range(self, page_ids, num_bytes, earliest):
+        """Book reads for ``page_ids``, merging adjacent pages per device.
+
+        Pages are grouped by their device in arrival order; maximal runs
+        of stride-consecutive page IDs (stride = the striping interval,
+        so consecutive *global* page IDs land in one run under default
+        striping) are booked as a single ranged read of
+        ``num_bytes * len(run)`` on the device channel.  Every page in a
+        run becomes ready at the run's end time — the model FlashGraph
+        uses for merged I/O requests: one command, the whole range pays
+        one transfer.  Each run past its first page counts one
+        ``adjacent_fetches`` (the same opportunities :meth:`fetch`
+        merely *observes*), and each booked run counts one
+        ``ranged_fetches``.
+
+        Returns ``{page_id: (start, end)}``.  With a fault injector
+        installed, falls back to per-page :meth:`fetch` so injection
+        and retry semantics stay per-read.
+        """
+        if self.fault_injector is not None:
+            return {pid: self.fetch(pid, num_bytes, earliest)
+                    for pid in page_ids}
+        times = {}
+        per_device = {}
+        for pid in page_ids:
+            per_device.setdefault(self.device_for_page(pid), []).append(pid)
+        stride = len(self.specs) if self.default_striping else 1
+        for device, pids in per_device.items():
+            spec = self.specs[device]
+            channel = self.channels[device]
+            start_idx = 0
+            while start_idx < len(pids):
+                stop_idx = start_idx + 1
+                while (stop_idx < len(pids)
+                       and pids[stop_idx] == pids[stop_idx - 1] + stride):
+                    stop_idx += 1
+                run = pids[start_idx:stop_idx]
+                start_idx = stop_idx
+                duration = spec.read_time(num_bytes * len(run))
+                start, end = channel.book(earliest, duration)
+                self.bytes_read += num_bytes * len(run)
+                self.pages_fetched += len(run)
+                last = self._last_fetch_pid[device]
+                if last is not None and run[0] == last + stride:
+                    self.adjacent_fetches += 1
+                self.adjacent_fetches += len(run) - 1
+                self._last_fetch_pid[device] = run[-1]
+                self.ranged_fetches += 1
+                if self.recorder is not None:
+                    self.recorder.interval(
+                        "ssd_fetch", "storage", spec.name, start, end,
+                        page=run[0], pages=len(run),
+                        bytes=num_bytes * len(run))
+                for pid in run:
+                    times[pid] = (start, end)
+        return times
 
     def _fetch_faulted(self, device, page_id, num_bytes, earliest):
         """The fetch path under an installed fault injector.
@@ -180,6 +239,7 @@ class StorageArray:
         self.bytes_read = 0
         self.pages_fetched = 0
         self.adjacent_fetches = 0
+        self.ranged_fetches = 0
         self._last_fetch_pid = [None] * len(self.specs)
         self.fetch_retries = [0] * len(self.specs)
         self.faults_injected = [0] * len(self.specs)

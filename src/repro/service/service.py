@@ -84,6 +84,9 @@ ENGINE_OPTIONS = {
     "micro_technique": "edge",
     "enable_caching": True,
     "cache_policy": "lru",
+    "backend": "serial",
+    "backend_workers": None,
+    "io_merge": False,
 }
 
 
@@ -143,9 +146,9 @@ class _ServedDatabase:
     """A database handle plus the caches every query on it shares."""
 
     __slots__ = ("name", "db", "shared_cache", "plan_cache", "gate",
-                 "queries")
+                 "queries", "worker_pools", "owns_db")
 
-    def __init__(self, name, db, shared_cache_pages=None):
+    def __init__(self, name, db, shared_cache_pages=None, owns_db=False):
         self.name = name
         self.db = db
         self.shared_cache = SharedPageCache(
@@ -153,6 +156,14 @@ class _ServedDatabase:
         self.plan_cache = RoundPlanCache()
         self.gate = ReadWriteGate()
         self.queries = 0
+        # Process-backend worker pools, shared across every query on
+        # this handle (forked workers persist between runs); the service
+        # shuts them down with the handle.
+        from repro.core.parallel import WorkerPoolRegistry
+        self.worker_pools = WorkerPoolRegistry()
+        #: True when the service opened the database itself (via
+        #: ``prefix=``) and therefore owns closing its file handles.
+        self.owns_db = owns_db
         # Attach to the handle *and* its base (dynamic overlays keep
         # their file-backed pages on ``_base``, whose miss path is what
         # consults the shared cache).
@@ -175,6 +186,7 @@ class _ServedDatabase:
             "plan_cache": self.plan_cache.stats(),
             "exclusive_queries": self.gate.exclusive_acquisitions,
         }
+        out["worker_pools"] = self.worker_pools.stats()
         if hasattr(db, "scatter_lock_stats"):
             out["scatter_lock"] = db.scatter_lock_stats()
         # Dynamic wrappers keep the page pool on their file-backed base.
@@ -239,30 +251,39 @@ class GraphService:
     # ------------------------------------------------------------------
     # Database registry
     # ------------------------------------------------------------------
-    def add_database(self, name, db=None, prefix=None, pool_pages=256):
+    def add_database(self, name, db=None, prefix=None, pool_pages=256,
+                     store_mode="copy"):
         """Serve ``db`` (or lazily open ``<prefix>.meta.json/.pages``
         through the WAL-aware dynamic opener) under ``name``.
 
-        The handle gets its own shared page cache, plan cache and
-        read/write gate; re-registering a name raises
-        :class:`~repro.errors.ServiceError`.  Returns the handle.
+        The handle gets its own shared page cache, plan cache,
+        read/write gate and process-backend worker-pool registry;
+        re-registering a name raises
+        :class:`~repro.errors.ServiceError`.  ``store_mode="mmap"``
+        serves a ``prefix=`` database's base pages zero-copy from the
+        mapped pages file.  Returns the handle.
         """
         if (db is None) == (prefix is None):
             raise ServiceError(
                 "add_database needs exactly one of db= or prefix=")
+        owns_db = db is None
         if db is None:
             from repro.dynamic import open_dynamic_database
-            db = open_dynamic_database(prefix, pool_pages=pool_pages)
+            db = open_dynamic_database(prefix, pool_pages=pool_pages,
+                                       store_mode=store_mode)
         with self._db_lock:
             if name in self._databases:
                 raise ServiceError(
                     "database %r is already being served" % name)
             self._databases[name] = _ServedDatabase(
-                name, db, shared_cache_pages=self.shared_cache_pages)
+                name, db, shared_cache_pages=self.shared_cache_pages,
+                owns_db=owns_db)
         return db
 
     def remove_database(self, name):
-        """Stop serving ``name`` (in-flight queries on it complete)."""
+        """Stop serving ``name`` (in-flight queries on it complete):
+        detach the shared cache, shut the handle's worker pools down,
+        and close the file store if the service opened it."""
         with self._db_lock:
             entry = self._databases.pop(name, None)
         if entry is None:
@@ -271,6 +292,11 @@ class GraphService:
             if candidate is not None and hasattr(candidate,
                                                  "detach_shared_cache"):
                 candidate.detach_shared_cache()
+        entry.worker_pools.shutdown()
+        if entry.owns_db:
+            for candidate in (entry.db, getattr(entry.db, "_base", None)):
+                if candidate is not None and hasattr(candidate, "close"):
+                    candidate.close()
 
     def database_names(self):
         """Names currently served, sorted."""
@@ -367,9 +393,13 @@ class GraphService:
             enable_caching=options["enable_caching"],
             cache_policy=options["cache_policy"],
             execution=options["execution"],
+            backend=options["backend"],
+            backend_workers=options["backend_workers"],
+            io_merge=options["io_merge"],
             faults=request.faults,
             fault_seed=request.fault_seed,
-            plan_cache=entry.plan_cache)
+            plan_cache=entry.plan_cache,
+            worker_pools=entry.worker_pools)
 
     def _execute(self, request, entry):
         with self._lock:
@@ -440,6 +470,12 @@ class GraphService:
         finished = self._drained.wait(timeout) if wait else True
         if wait and finished:
             self._executor.shutdown(wait=True)
+            # Every query has completed; forked process-backend workers
+            # have no further rounds to serve.
+            with self._db_lock:
+                entries = list(self._databases.values())
+            for entry in entries:
+                entry.worker_pools.shutdown()
         return finished
 
     # ------------------------------------------------------------------

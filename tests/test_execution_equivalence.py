@@ -122,6 +122,102 @@ def test_batched_matches_paged_under_pool_eviction(data, tmp_path_factory):
     assert lazy.resident_pages() <= pool_pages
 
 
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_backend_and_store_mode_never_perturb_results(data,
+                                                      tmp_path_factory):
+    """The full host-side configuration matrix — (execution, backend,
+    store mode) — is indistinguishable from the eager serial baseline:
+    host options may only move host counters, never simulated time,
+    values, or the compared statistics."""
+    kernel_name = data.draw(st.sampled_from(sorted(KERNELS)))
+    graph = _random_graph(data, weighted=kernel_name == "sssp")
+    if kernel_name == "wcc":
+        graph = graph.symmetrised()
+    db = build_database(graph, PageFormatConfig(2, 2, 1 * KB))
+    prefix = str(tmp_path_factory.mktemp("matrix") / "db")
+    save_database(db, prefix)
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    start = data.draw(st.integers(0, graph.num_vertices - 1))
+    baseline = GTSEngine(db, machine, execution="paged").run(
+        KERNELS[kernel_name](start))
+    pool_pages = max(1, db.num_pages // 2)
+    for execution in ("paged", "batched"):
+        for backend in ("serial", "process"):
+            for store_mode in ("copy", "mmap"):
+                lazy = FileBackedDatabase(prefix, pool_pages=pool_pages,
+                                          mode=store_mode)
+                engine = GTSEngine(lazy, machine, execution=execution,
+                                   backend=backend, backend_workers=2)
+                try:
+                    result = engine.run(KERNELS[kernel_name](start))
+                finally:
+                    engine.close()
+                    lazy.close()
+                combo = (execution, backend, store_mode)
+                assert result.elapsed_seconds \
+                    == baseline.elapsed_seconds, combo
+                assert result.num_rounds == baseline.num_rounds, combo
+                for key in baseline.values:
+                    np.testing.assert_array_equal(
+                        result.values[key], baseline.values[key],
+                        err_msg=str(combo))
+                result_dict = result.to_dict()
+                baseline_dict = baseline.to_dict()
+                for key in ("cache_hits", "cache_misses",
+                            "mm_buffer_hits", "mm_buffer_misses",
+                            "storage_bytes_read", "storage_pages_fetched",
+                            "pages_streamed", "bytes_to_gpu",
+                            "transfer_busy_seconds", "kernel_busy_seconds",
+                            "kernel_stream_seconds", "edges_traversed"):
+                    assert result_dict.get(key) \
+                        == baseline_dict.get(key), (combo, key)
+                for base_round, this_round in zip(baseline.rounds,
+                                                  result.rounds):
+                    assert (dataclasses.asdict(this_round)
+                            == dataclasses.asdict(base_round)), combo
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_io_merge_changes_plan_but_not_results(data, tmp_path_factory):
+    """``io_merge`` is the one opt-in host knob allowed to move the
+    simulated I/O plan; the algorithm output must stay bit-identical,
+    and under merge the (execution, backend) matrix must still agree
+    with itself."""
+    kernel_name = data.draw(st.sampled_from(["pagerank", "bfs"]))
+    graph = _random_graph(data, weighted=False)
+    db = build_database(graph, PageFormatConfig(2, 2, 1 * KB))
+    prefix = str(tmp_path_factory.mktemp("merge") / "db")
+    save_database(db, prefix)
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    start = data.draw(st.integers(0, graph.num_vertices - 1))
+    lazy = FileBackedDatabase(prefix, pool_pages=max(1, db.num_pages))
+    plain = GTSEngine(lazy, machine).run(KERNELS[kernel_name](start))
+    merged = {}
+    for execution in ("paged", "batched"):
+        for backend in ("serial", "process"):
+            engine = GTSEngine(lazy, machine, execution=execution,
+                               backend=backend, backend_workers=2,
+                               io_merge=True)
+            try:
+                merged[(execution, backend)] = engine.run(
+                    KERNELS[kernel_name](start))
+            finally:
+                engine.close()
+    reference = merged[("paged", "serial")]
+    for key in plain.values:
+        np.testing.assert_array_equal(reference.values[key],
+                                      plain.values[key])
+    for combo, result in merged.items():
+        assert result.elapsed_seconds \
+            == reference.elapsed_seconds, combo
+        for key in reference.values:
+            np.testing.assert_array_equal(result.values[key],
+                                          reference.values[key],
+                                          err_msg=str(combo))
+
+
 def test_all_four_kernels_support_batch():
     for name, factory in KERNELS.items():
         assert factory(0).supports_batch(), name

@@ -1,0 +1,274 @@
+"""Property tests for the zero-copy (``mode="mmap"``) page store.
+
+The mapped store is only allowed to change *host* costs: for any saved
+database the pages it decodes, the run results they produce, and every
+simulated counter must be bit-identical to the eager
+:func:`~repro.format.io.load_database` path — under dynamic WAL
+overlays, under pool eviction pressure, and under injected corruption
+(a checksum failure must recover through a verified re-read or raise a
+typed :class:`~repro.errors.IntegrityError`; a damaged view must never
+decode).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GTSEngine, PageRankKernel, SSSPKernel
+from repro.errors import IntegrityError
+from repro.faults import FaultInjector, FaultPlan
+from repro.format import PageFormatConfig, build_database
+from repro.format.io import FileBackedDatabase, load_database, save_database
+from repro.graphgen import Graph
+from repro.hardware.specs import scaled_workstation
+from repro.units import KB
+
+
+def _random_database(data, weighted=False):
+    num_vertices = data.draw(st.integers(2, 120))
+    num_edges = data.draw(st.integers(0, 400))
+    seed = data.draw(st.integers(0, 10 ** 6))
+    rng = np.random.default_rng(seed)
+    graph = Graph.from_edges(
+        num_vertices,
+        rng.integers(0, num_vertices, size=num_edges),
+        rng.integers(0, num_vertices, size=num_edges))
+    if weighted:
+        graph = graph.with_random_weights(seed=seed)
+    config = PageFormatConfig(2, 2, 1 * KB,
+                              weight_bytes=4 if weighted else 0)
+    return build_database(graph, config, name="mmap-prop"), graph
+
+
+def _assert_pages_equal(expected, actual):
+    assert type(expected) is type(actual)
+    assert expected.page_id == actual.page_id
+    assert expected.start_vid == actual.start_vid
+    for attr in ("adj_pids", "adj_slots", "adj_vids"):
+        np.testing.assert_array_equal(getattr(expected, attr),
+                                      getattr(actual, attr), err_msg=attr)
+    if expected.adj_weights is None:
+        assert actual.adj_weights is None
+    else:
+        np.testing.assert_array_equal(expected.adj_weights,
+                                      actual.adj_weights)
+    if hasattr(expected, "adj_indptr"):  # SmallPage
+        np.testing.assert_array_equal(expected.adj_indptr,
+                                      actual.adj_indptr)
+    else:  # LargePage
+        assert expected.total_degree == actual.total_degree
+        assert expected.chunk_index == actual.chunk_index
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_mmap_pages_match_eager_load(data, tmp_path_factory):
+    """Every page decoded from the mapping equals its eagerly loaded
+    counterpart, field for field, and the decoded arrays never alias
+    the mapping (they survive close())."""
+    weighted = data.draw(st.booleans())
+    db, _ = _random_database(data, weighted=weighted)
+    prefix = str(tmp_path_factory.mktemp("mmap") / "db")
+    save_database(db, prefix)
+    eager = load_database(prefix)
+    mapped = FileBackedDatabase(prefix, pool_pages=4, mode="mmap")
+    pages = [mapped.page(pid) for pid in range(mapped.num_pages)]
+    for pid in range(eager.num_pages):
+        _assert_pages_equal(eager.pages[pid], pages[pid])
+    assert mapped.mmap_misses == mapped.num_pages  # first touches
+    mapped.close()
+    # Materialised arrays must outlive the mapping.
+    for pid in range(eager.num_pages):
+        _assert_pages_equal(eager.pages[pid], pages[pid])
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_mmap_run_results_match_eager(data, tmp_path_factory):
+    """Engine runs over the mapped store are bit-identical to eager
+    loads — simulated time, values, and counters — even with a pool too
+    small for the database (constant eviction re-decodes from the
+    mapping)."""
+    weighted = data.draw(st.booleans())
+    db, graph = _random_database(data, weighted=weighted)
+    prefix = str(tmp_path_factory.mktemp("mmap") / "db")
+    save_database(db, prefix)
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    start = data.draw(st.integers(0, graph.num_vertices - 1))
+    kernel = (lambda: SSSPKernel(start_vertex=start)) if weighted \
+        else (lambda: PageRankKernel(iterations=3))
+    eager = GTSEngine(load_database(prefix), machine).run(kernel())
+    pool_pages = data.draw(st.sampled_from(
+        [1, max(1, db.num_pages // 4), 256]))
+    mapped_db = FileBackedDatabase(prefix, pool_pages=pool_pages,
+                                   mode="mmap")
+    mapped = GTSEngine(mapped_db, machine).run(kernel())
+    assert mapped.elapsed_seconds == eager.elapsed_seconds
+    assert mapped.num_rounds == eager.num_rounds
+    for key in eager.values:
+        np.testing.assert_array_equal(mapped.values[key],
+                                      eager.values[key])
+    eager_dict, mapped_dict = eager.to_dict(), mapped.to_dict()
+    for key in ("cache_hits", "cache_misses", "storage_bytes_read",
+                "pages_streamed", "bytes_to_gpu", "edges_traversed"):
+        assert mapped_dict.get(key) == eager_dict.get(key), key
+    # The store mode is host-side: only the mmap counters may move.
+    assert mapped_dict["mmap_hits"] + mapped_dict["mmap_misses"] > 0
+    assert eager_dict["mmap_hits"] == eager_dict["mmap_misses"] == 0
+    assert mapped_db.resident_pages() <= pool_pages
+    mapped_db.close()
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_mmap_dynamic_overlay_matches_copy_mode(data, tmp_path_factory):
+    """A WAL overlay on top of a mapped base behaves exactly like one
+    on top of the copy-mode base: overlay pages are rebuilt objects, so
+    only untouched base pages are served from the mapping."""
+    from repro.dynamic import UpdateBatch, open_dynamic_database
+
+    db, graph = _random_database(data)
+    prefix_dir = tmp_path_factory.mktemp("overlay")
+    seed = data.draw(st.integers(0, 10 ** 6), label="overlay-seed")
+    rng = np.random.default_rng(seed)
+    edges = [(int(rng.integers(0, graph.num_vertices)),
+              int(rng.integers(0, graph.num_vertices)))
+             for _ in range(8)]
+    results = []
+    for mode in ("copy", "mmap"):
+        prefix = str(prefix_dir / ("db-" + mode))
+        save_database(db, prefix)
+        dyn = open_dynamic_database(prefix, pool_pages=8, store_mode=mode)
+        batch = UpdateBatch()
+        for src, dst in edges:
+            batch.insert_edge(src, dst)
+        dyn.apply(batch)
+        machine = scaled_workstation(num_gpus=2, num_ssds=1)
+        results.append(GTSEngine(dyn, machine).run(
+            PageRankKernel(iterations=3)))
+    copy_run, mmap_run = results
+    assert mmap_run.elapsed_seconds == copy_run.elapsed_seconds
+    np.testing.assert_array_equal(mmap_run.values["rank"],
+                                  copy_run.values["rank"])
+
+
+def _save_small(tmp_path, num_vertices=40, num_edges=160, seed=7):
+    rng = np.random.default_rng(seed)
+    graph = Graph.from_edges(
+        num_vertices,
+        rng.integers(0, num_vertices, size=num_edges),
+        rng.integers(0, num_vertices, size=num_edges))
+    db = build_database(graph, PageFormatConfig(2, 2, 1 * KB),
+                        name="small")
+    prefix = str(tmp_path / "db")
+    save_database(db, prefix)
+    return prefix, db
+
+
+def test_injected_corruption_recovers_through_copy_path(tmp_path):
+    """With a fault injector attached, mmap parses re-route through the
+    mutable copy path: the injected corruption is caught by the
+    checksum, retried clean, and the decoded page equals the clean
+    one — the damaged bytes never decode."""
+    prefix, db = _save_small(tmp_path)
+    clean = FileBackedDatabase(prefix, pool_pages=64, mode="mmap")
+    reference = clean.page(0)
+    mapped = FileBackedDatabase(prefix, pool_pages=64, mode="mmap")
+    mapped.attach_fault_injector(
+        FaultInjector(FaultPlan(host_corrupt_reads={0: 1})))
+    recovered = mapped.page(0)
+    _assert_pages_equal(reference, recovered)
+    assert mapped.integrity_retries >= 1
+    assert mapped.mmap_misses >= 1  # the re-route is booked as a miss
+    clean.close()
+    mapped.close()
+
+
+def test_persistent_damage_raises_never_decodes(tmp_path):
+    """Bytes damaged on disk fail the mapped region's first-touch
+    verification *and* the copy re-read: the typed IntegrityError
+    names the page and no poisoned view is ever decoded."""
+    prefix, db = _save_small(tmp_path)
+    page_size = db.config.page_size
+    with open(prefix + ".pages", "r+b") as handle:
+        handle.seek(0)
+        first = handle.read(1)
+        handle.seek(0)
+        handle.write(bytes([first[0] ^ 0xFF]))
+    mapped = FileBackedDatabase(prefix, pool_pages=64, mode="mmap")
+    with pytest.raises(IntegrityError) as excinfo:
+        mapped.page(0)
+    assert excinfo.value.page_id == 0
+    # Undamaged pages keep working through the same handle.
+    if mapped.num_pages > 1:
+        assert mapped.page(1) is not None
+    assert os.path.getsize(prefix + ".pages") == \
+        mapped.num_pages * page_size
+    mapped.close()
+
+
+def _tamper_layout(prefix, **overrides):
+    meta_path = prefix + ".meta.json"
+    with open(meta_path) as handle:
+        metadata = json.load(handle)
+    metadata["pages_layout"].update(overrides)
+    with open(meta_path, "w") as handle:
+        json.dump(metadata, handle)
+
+
+def test_pages_layout_mismatch_refuses_to_map(tmp_path):
+    """A wrong ``pages_layout`` stanza (stride, count, checksum algo or
+    endianness) raises the typed IntegrityError before any byte of the
+    pages file is interpreted — in both store modes and the eager
+    loader."""
+    prefix, _ = _save_small(tmp_path)
+    for overrides in ({"stride": 512}, {"count": 1},
+                      {"checksum": "md5"}, {"endianness": "big"}):
+        _tamper_layout(prefix, **overrides)
+        with pytest.raises(IntegrityError):
+            FileBackedDatabase(prefix, pool_pages=4, mode="mmap")
+        with pytest.raises(IntegrityError):
+            FileBackedDatabase(prefix, pool_pages=4, mode="copy")
+        with pytest.raises(IntegrityError):
+            load_database(prefix)
+        # Restore the stanza for the next override.
+        _tamper_layout(prefix, stride=1 * KB, checksum="crc32",
+                       endianness="little",
+                       count=len(json.load(
+                           open(prefix + ".meta.json"))["directory"]))
+
+
+def test_legacy_metadata_without_layout_still_loads(tmp_path):
+    """Databases saved before the stanza existed load unchanged."""
+    prefix, _ = _save_small(tmp_path)
+    meta_path = prefix + ".meta.json"
+    with open(meta_path) as handle:
+        metadata = json.load(handle)
+    del metadata["pages_layout"]
+    with open(meta_path, "w") as handle:
+        json.dump(metadata, handle)
+    db = FileBackedDatabase(prefix, pool_pages=4, mode="mmap")
+    assert db.page(0) is not None
+    db.close()
+
+
+def test_mmap_counters_surface_in_run_summary(tmp_path):
+    """RunResult carries the store's hit/miss counters: present in
+    summary() and to_dict(), zero for copy mode, moving for mmap."""
+    prefix, _ = _save_small(tmp_path)
+    machine = scaled_workstation(num_gpus=2, num_ssds=1)
+    mapped_db = FileBackedDatabase(prefix, pool_pages=2, mode="mmap")
+    mapped = GTSEngine(mapped_db, machine).run(PageRankKernel(iterations=3))
+    copy = GTSEngine(FileBackedDatabase(prefix, pool_pages=2),
+                     machine).run(PageRankKernel(iterations=3))
+    assert "mmap" in mapped.summary()
+    mapped_dict = mapped.to_dict()
+    assert mapped_dict["mmap_hits"] + mapped_dict["mmap_misses"] > 0
+    assert 0.0 <= mapped_dict["mmap_hit_rate"] <= 1.0
+    copy_dict = copy.to_dict()
+    assert copy_dict["mmap_hits"] == 0 and copy_dict["mmap_misses"] == 0
+    assert mapped.elapsed_seconds == copy.elapsed_seconds
+    mapped_db.close()

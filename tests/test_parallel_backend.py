@@ -1,0 +1,300 @@
+"""Tests for the multiprocess host backend.
+
+The process backend is a host-side optimisation: sharding a round's
+segment reduction across forked workers must leave run results —
+values, simulated time, every compared counter — bit-identical to the
+serial path.  These tests cover the shard-boundary maths
+(:func:`shard_bounds`), the pool mechanics (rounds, errors, shutdown),
+the registry's reuse/eviction policy, and the end-to-end engine
+equivalence.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GTSEngine, PageRankKernel, WCCKernel
+from repro.core.parallel import (
+    WorkerPool,
+    WorkerPoolRegistry,
+    default_workers,
+    shard_bounds,
+)
+from repro.errors import ConfigurationError
+from repro.format import PageFormatConfig, build_database
+from repro.format.io import FileBackedDatabase, save_database
+from repro.graphgen import Graph
+from repro.hardware.specs import scaled_workstation
+from repro.units import KB
+
+
+# ----------------------------------------------------------------------
+# shard_bounds
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_shard_bounds_partition_and_reduce_identically(data):
+    """Bounds are monotone, cover [0, num_segments), and a per-shard
+    ``reduceat`` stitched back together is bit-identical to the
+    full-batch ``reduceat`` — the property the backend's determinism
+    rests on."""
+    num_segments = data.draw(st.integers(1, 60))
+    # Segments are non-empty by construction in the round batches (a
+    # segment is one page's slice of scattered edges).
+    seg_lengths = data.draw(st.lists(
+        st.integers(1, 12), min_size=num_segments,
+        max_size=num_segments))
+    seg_starts = np.zeros(num_segments, dtype=np.int64)
+    np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
+    num_edges = int(seg_starts[-1]) + seg_lengths[-1]
+    workers = data.draw(st.integers(1, 9))
+    bounds = shard_bounds(seg_starts, num_segments, num_edges, workers)
+    assert bounds[0] == 0 and bounds[-1] == num_segments
+    assert np.all(np.diff(bounds) >= 0)
+    rng = np.random.default_rng(data.draw(st.integers(0, 10 ** 6)))
+    contrib = rng.random(num_edges)
+    full = np.add.reduceat(contrib, seg_starts)
+    stitched = np.empty(num_segments, dtype=np.float64)
+    for w in range(len(bounds) - 1):
+        s0, s1 = int(bounds[w]), int(bounds[w + 1])
+        if s0 >= s1:
+            continue
+        lo = int(seg_starts[s0])
+        hi = int(seg_starts[s1]) if s1 < num_segments else num_edges
+        stitched[s0:s1] = np.add.reduceat(contrib[lo:hi],
+                                          seg_starts[s0:s1] - lo)
+    np.testing.assert_array_equal(stitched, full)
+
+
+def test_shard_bounds_single_worker_is_trivial():
+    seg_starts = np.asarray([0, 3, 7], dtype=np.int64)
+    np.testing.assert_array_equal(
+        shard_bounds(seg_starts, 3, 10, 1), [0, 3])
+    np.testing.assert_array_equal(
+        shard_bounds(seg_starts, 1, 10, 4), [0, 1])
+
+
+def test_default_workers_leaves_a_core_for_the_parent():
+    assert 1 <= default_workers() <= 8
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+def _square_shard(vector, s0, s1):
+    return vector[s0:s1] ** 2
+
+
+def test_worker_pool_rounds_reuse_and_shutdown():
+    template = np.zeros(6, dtype=np.float64)
+    pool = WorkerPool(_square_shard, [0, 3, 6], template, np.float64, 6)
+    try:
+        for i in range(3):
+            vector = np.arange(6, dtype=np.float64) + i
+            got = pool.start_round(vector).collect()
+            np.testing.assert_array_equal(got, vector ** 2)
+        assert pool.rounds_dispatched == 3
+        # The returned array is a copy: it survives the next round.
+        first = pool.start_round(np.ones(6)).collect()
+        pool.start_round(np.full(6, 2.0)).collect()
+        np.testing.assert_array_equal(first, np.ones(6))
+    finally:
+        pool.shutdown()
+    pool.shutdown()  # idempotent
+    with pytest.raises(ConfigurationError):
+        pool.start_round(template)
+
+
+def test_worker_pool_rejects_collect_without_round():
+    pool = WorkerPool(_square_shard, [0, 2], np.zeros(2), np.float64, 2)
+    try:
+        with pytest.raises(ConfigurationError):
+            pool.collect()  # nothing in flight
+        np.testing.assert_array_equal(
+            pool.start_round(np.ones(2)).collect(), np.ones(2))
+    finally:
+        pool.shutdown()
+
+
+def _failing_shard(vector, s0, s1):
+    raise ValueError("boom in shard [%d, %d)" % (s0, s1))
+
+
+def test_worker_pool_surfaces_worker_errors():
+    pool = WorkerPool(_failing_shard, [0, 2], np.zeros(2), np.float64, 2)
+    try:
+        with pytest.raises(RuntimeError, match="worker 0 failed"):
+            pool.start_round(np.ones(2)).collect()
+        # The pool stays usable for the error path's callers to shut
+        # it down cleanly.
+        assert not pool.closed
+    finally:
+        pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# WorkerPoolRegistry
+# ----------------------------------------------------------------------
+class _FakeBatch:
+    num_segments = 4
+    num_edges = 12
+    seg_starts = np.asarray([0, 3, 6, 9], dtype=np.int64)
+
+
+class _FakeKernel:
+    name = "fake"
+    shard_dtype = np.float64
+
+    def shard_params(self, state):
+        return ()
+
+    def round_vector(self, state):
+        return np.zeros(12, dtype=np.float64)
+
+    def make_shard_fn(self, batch, state):
+        return _square_shard
+
+
+class _FakeDB:
+    def __init__(self, version=0):
+        self.topology_version = version
+
+
+def test_registry_reuses_and_evicts_by_topology_version():
+    registry = WorkerPoolRegistry()
+    db = _FakeDB(version=1)
+    kernel = _FakeKernel()
+    try:
+        first = registry.get(db, kernel, None, _FakeBatch(), workers=2)
+        again = registry.get(db, kernel, None, _FakeBatch(), workers=2)
+        assert first is again
+        assert registry.created == 1 and registry.reused == 1
+        stats = registry.stats()
+        assert stats["pools"] == 1
+        assert stats["workers"] == {"fake/1": 2}
+        db.topology_version = 2  # a dynamic update landed
+        fresh = registry.get(db, kernel, None, _FakeBatch(), workers=2)
+        assert fresh is not first
+        assert first.closed  # stale pool was shut down on the way
+        assert registry.evicted == 1
+    finally:
+        registry.shutdown()
+    assert registry.stats()["pools"] == 0
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence
+# ----------------------------------------------------------------------
+def _random_db(seed, num_vertices=80, num_edges=360, symmetrise=False):
+    rng = np.random.default_rng(seed)
+    graph = Graph.from_edges(
+        num_vertices,
+        rng.integers(0, num_vertices, size=num_edges),
+        rng.integers(0, num_vertices, size=num_edges))
+    if symmetrise:
+        graph = graph.symmetrised()
+    return build_database(graph, PageFormatConfig(2, 2, 1 * KB))
+
+
+def _assert_runs_identical(serial, process):
+    assert serial.backend == "serial"
+    assert process.backend == "process"
+    assert process.elapsed_seconds == serial.elapsed_seconds
+    assert process.num_rounds == serial.num_rounds
+    for key in serial.values:
+        np.testing.assert_array_equal(process.values[key],
+                                      serial.values[key])
+    serial_dict, process_dict = serial.to_dict(), process.to_dict()
+    for key in ("cache_hits", "cache_misses", "storage_bytes_read",
+                "pages_streamed", "bytes_to_gpu", "transfer_busy_seconds",
+                "kernel_busy_seconds", "edges_traversed"):
+        assert process_dict.get(key) == serial_dict.get(key), key
+    for round_serial, round_process in zip(serial.rounds, process.rounds):
+        assert (dataclasses.asdict(round_process)
+                == dataclasses.asdict(round_serial))
+
+
+@pytest.mark.parametrize("kernel_factory,symmetrise", [
+    (lambda: PageRankKernel(iterations=4), False),
+    (lambda: WCCKernel(), True),
+], ids=["pagerank", "wcc"])
+def test_process_backend_matches_serial(kernel_factory, symmetrise):
+    db = _random_db(11, symmetrise=symmetrise)
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    serial = GTSEngine(db, machine, execution="batched").run(
+        kernel_factory())
+    engine = GTSEngine(db, machine, execution="batched",
+                       backend="process", backend_workers=2)
+    try:
+        process = engine.run(kernel_factory())
+    finally:
+        engine.close()
+    _assert_runs_identical(serial, process)
+
+
+def test_process_backend_reuses_pools_across_runs():
+    """Repeated runs through one engine hit the same forked pool."""
+    db = _random_db(23)
+    machine = scaled_workstation(num_gpus=2, num_ssds=1)
+    engine = GTSEngine(db, machine, execution="batched",
+                       backend="process", backend_workers=2)
+    try:
+        first = engine.run(PageRankKernel(iterations=3))
+        second = engine.run(PageRankKernel(iterations=3))
+        registry = engine._pool_registry()
+        assert registry.created >= 1
+        assert registry.reused >= 1
+    finally:
+        engine.close()
+    assert registry.stats()["pools"] == 0
+    np.testing.assert_array_equal(first.values["rank"],
+                                  second.values["rank"])
+
+
+def test_process_backend_on_mmap_store(tmp_path):
+    """The full stack: forked workers attached to the parent's mapped
+    pages file, still bit-identical to the serial copy-mode run."""
+    db = _random_db(37)
+    prefix = str(tmp_path / "db")
+    save_database(db, prefix)
+    machine = scaled_workstation(num_gpus=2, num_ssds=2)
+    serial = GTSEngine(FileBackedDatabase(prefix, pool_pages=16),
+                       machine, execution="batched").run(
+        PageRankKernel(iterations=4))
+    mapped = FileBackedDatabase(prefix, pool_pages=16, mode="mmap")
+    engine = GTSEngine(mapped, machine, execution="batched",
+                       backend="process", backend_workers=2)
+    try:
+        process = engine.run(PageRankKernel(iterations=4))
+    finally:
+        engine.close()
+        mapped.close()
+    _assert_runs_identical(serial, process)
+
+
+def test_process_backend_falls_back_without_shard_support():
+    """Kernels without a shard factoring (BFS) run serially even under
+    backend='process' — same results, no pools built."""
+    from repro.core import BFSKernel
+    db = _random_db(41)
+    machine = scaled_workstation(num_gpus=2, num_ssds=1)
+    serial = GTSEngine(db, machine).run(BFSKernel(start_vertex=0))
+    engine = GTSEngine(db, machine, backend="process")
+    try:
+        process = engine.run(BFSKernel(start_vertex=0))
+        assert engine._worker_pools is None or \
+            engine._worker_pools.stats()["pools"] == 0
+    finally:
+        engine.close()
+    assert process.elapsed_seconds == serial.elapsed_seconds
+    np.testing.assert_array_equal(process.values["level"],
+                                  serial.values["level"])
+
+
+def test_engine_rejects_unknown_backend():
+    db = _random_db(5, num_vertices=10, num_edges=20)
+    machine = scaled_workstation(num_gpus=1, num_ssds=1)
+    with pytest.raises(ConfigurationError):
+        GTSEngine(db, machine, backend="threads")
