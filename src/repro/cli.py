@@ -254,9 +254,17 @@ def build_parser():
 
     update = commands.add_parser(
         "update",
-        help="apply a mutation batch to a saved database (WAL-logged)")
-    update.add_argument("--db", metavar="PREFIX", required=True,
-                        help="saved database prefix")
+        help="apply a mutation batch to a saved database (WAL-logged) "
+             "or to a running serve instance (--service)")
+    update.add_argument("--db", metavar="PREFIX", default=None,
+                        help="saved database prefix (offline mode)")
+    update.add_argument("--service", metavar="URL", default=None,
+                        help="send the batch to a running serve "
+                             "instance instead of opening the database; "
+                             "commits a new MVCC version while queries "
+                             "keep running")
+    update.add_argument("--database", default=None,
+                        help="served database name (with --service)")
     update.add_argument("--batch", required=True, metavar="FILE",
                         help="batch file: one 'add U V [W]' / 'del U V' "
                              "/ 'vertex [N]' per line")
@@ -416,6 +424,10 @@ def build_parser():
     query.add_argument("--timeout", type=float, default=60.0,
                        help="HTTP timeout in seconds (covers the "
                             "admission wait)")
+    query.add_argument("--timeout-ms", type=float, default=None,
+                       help="per-query deadline in milliseconds "
+                            "(queue wait included); the server answers "
+                            "504 and the command exits 4 when exceeded")
     query.add_argument("--include-values", action="store_true",
                        help="return full output vectors, not summaries")
     query.add_argument("--json", action="store_true",
@@ -644,6 +656,12 @@ def _command_update(args):
         open_dynamic_database,
         parse_batch_file,
     )
+    if (args.db is None) == (args.service is None):
+        print("update needs exactly one of --db or --service",
+              file=sys.stderr)
+        return 1
+    if args.service is not None:
+        return _command_update_service(args)
     batch = parse_batch_file(args.batch)
     db = open_dynamic_database(args.db, fsync=not args.no_fsync)
     report = db.apply(batch)
@@ -659,6 +677,44 @@ def _command_update(args):
         from repro.obs import collect_dynamic_metrics
         collect_dynamic_metrics(db).to_json(args.metrics_out)
         print("wrote metrics to %s" % args.metrics_out, file=sys.stderr)
+    return 0
+
+
+def _command_update_service(args):
+    """``update --service URL --database NAME``: live MVCC commit."""
+    from repro.dynamic import parse_batch_file
+    from repro.errors import ServiceError, ShutdownError
+    from repro.service import ServiceClient
+    if not args.database:
+        print("update --service needs --database NAME", file=sys.stderr)
+        return 1
+    batch = parse_batch_file(args.batch)
+    client = ServiceClient(args.service)
+    try:
+        report = client.update(args.database, batch,
+                               compact_threshold=args.compact_threshold)
+    except ShutdownError as error:
+        print("draining: %s" % error, file=sys.stderr)
+        return 3
+    except ServiceError as error:
+        print("rejected: %s" % error, file=sys.stderr)
+        return 1
+    print("applied %s to %s@%s: now topology v%d, +%d/-%d edges, "
+          "+%d vertices, %dB delta%s"
+          % (batch, args.database, args.service,
+             report["topology_version"], report["edges_inserted"],
+             report["edges_deleted"], report["vertices_added"],
+             report["delta_bytes"],
+             ", compacted" if report["compacted"] else ""))
+    mvcc = report.get("mvcc")
+    if mvcc:
+        print("  mvcc: %d version(s) retained, %d pinned snapshot(s), "
+              "%d reclaimed"
+              % (mvcc["version_chain_length"], mvcc["pinned_snapshots"],
+                 mvcc["reclaimed_versions"]))
+    if args.metrics_out:
+        print("--metrics-out is unavailable with --service (use the "
+              "server's /stats endpoint)", file=sys.stderr)
     return 0
 
 
@@ -849,7 +905,8 @@ def _command_serve(args):
 
 
 def _command_query(args):
-    from repro.errors import AdmissionError, ShutdownError
+    from repro.errors import (AdmissionError, DeadlineError,
+                              ShutdownError)
     from repro.service import ServiceClient
     client = ServiceClient(args.url, timeout=args.timeout)
     params = {"iterations": args.iterations, "k": args.k}
@@ -870,6 +927,8 @@ def _command_query(args):
         options["backend_workers"] = args.backend_workers
     if args.io_merge:
         options["io_merge"] = True
+    if args.timeout_ms is not None:
+        options["timeout_ms"] = args.timeout_ms
     try:
         result = client.query(args.database, args.algorithm,
                               params=params, options=options or None,
@@ -881,6 +940,9 @@ def _command_query(args):
     except ShutdownError as error:
         print("draining: %s" % error, file=sys.stderr)
         return 3
+    except DeadlineError as error:
+        print("deadline exceeded: %s" % error, file=sys.stderr)
+        return 4
     if args.json:
         print(json.dumps(result, indent=2, sort_keys=True))
     else:

@@ -25,12 +25,15 @@ Both counters are updated while the lock is held, so they are exact.
 :class:`ReadWriteGate` serialises the rare queries that must run alone
 (e.g. fault plans that attach a corrupting injector to a shared
 database) against the common fully-concurrent readers: readers share the
-gate, writers exclude everyone.  Writer preference is deliberately *not*
-implemented — exclusive queries are rare and a simple
-readers-then-writer handoff keeps the gate small and obviously correct.
+gate, writers exclude everyone.  The gate is **writer-preferring**: once
+a writer is waiting, new readers queue behind it, so a steady reader
+stream can delay a writer by at most the readers already inside the
+gate when it arrived (no starvation).  ``writers_waiting`` and the
+cumulative ``writer_wait_seconds`` counter make the wait observable.
 """
 
 import threading
+import time
 
 
 class InstrumentedLock:
@@ -95,18 +98,32 @@ class ReadWriteGate:
     attach process-global state to the shared database (host-read
     corruption budgets) enters as a writer and runs alone, so its
     injected faults can never leak into a neighbour's reads.
+
+    Writer preference: :meth:`acquire_read` blocks not only while a
+    writer holds the gate but also while one *waits* for it.  Readers
+    already inside keep running (the writer waits them out), but no new
+    reader overtakes a queued writer — under a continuous reader stream
+    the writer acquires as soon as the current readers drain.
     """
 
     def __init__(self):
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
+        self._writers_waiting = 0
         #: Exclusive acquisitions served (how often the slow path ran).
         self.exclusive_acquisitions = 0
+        #: Total host seconds writers spent waiting to acquire.
+        self.writer_wait_seconds = 0.0
+
+    @property
+    def writers_waiting(self):
+        """Writers currently queued for exclusive access."""
+        return self._writers_waiting
 
     def acquire_read(self):
         with self._cond:
-            while self._writer:
+            while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
 
@@ -117,15 +134,31 @@ class ReadWriteGate:
                 self._cond.notify_all()
 
     def acquire_write(self):
+        start = time.perf_counter()
         with self._cond:
-            while self._writer:
-                self._cond.wait()
-            self._writer = True
-            while self._readers:
-                self._cond.wait()
+            self._writers_waiting += 1
+            try:
+                while self._writer:
+                    self._cond.wait()
+                self._writer = True
+                while self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
             self.exclusive_acquisitions += 1
+            self.writer_wait_seconds += time.perf_counter() - start
 
     def release_write(self):
         with self._cond:
             self._writer = False
             self._cond.notify_all()
+
+    def stats(self):
+        """JSON-ready gate counters for the service stats endpoint."""
+        with self._cond:
+            return {
+                "readers_active": self._readers,
+                "writers_waiting": self._writers_waiting,
+                "exclusive_acquisitions": self.exclusive_acquisitions,
+                "writer_wait_seconds": self.writer_wait_seconds,
+            }

@@ -321,6 +321,22 @@ class SharedPageCache:
             "lock": self.contention(),
         }
 
+    def drop_version(self, version):
+        """Evict every entry cached under ``version``.
+
+        The MVCC reclamation path calls this when a topology version
+        (or a retired file-backed base after an in-place compaction)
+        loses its last pin: the entries can never be probed again, so
+        aging them out of the LRU would only waste capacity.  Returns
+        the number of entries dropped.
+        """
+        with self._lock:
+            stale = [key for key in self._pages if key[1] == version]
+            for key in stale:
+                del self._pages[key]
+            self.evictions += len(stale)
+            return len(stale)
+
     def clear(self):
         """Drop every entry (keeps counters; used by tests and drains)."""
         with self._lock:

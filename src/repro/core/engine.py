@@ -35,7 +35,7 @@ from repro.core.result import RoundStats, RunResult
 from repro.core.strategies import make_strategy
 from repro.core.streams import StreamScheduler
 from repro.errors import (CapacityError, ConfigurationError,
-                          DeviceLostError, SimulationError)
+                          DeadlineError, DeviceLostError, SimulationError)
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.hardware.machine import MachineRuntime
 
@@ -401,7 +401,8 @@ class GTSEngine:
     # ------------------------------------------------------------------
     # The run loop (Algorithm 1)
     # ------------------------------------------------------------------
-    def run(self, kernel, dataset_name=None, query_id=None):
+    def run(self, kernel, dataset_name=None, query_id=None,
+            deadline=None, timeout_ms=None):
         """Execute ``kernel`` over the database; returns a
         :class:`~repro.core.result.RunResult` with the algorithm output
         and the simulated performance counters.
@@ -418,6 +419,14 @@ class GTSEngine:
         ``shared_cache``, it is attached to the database for this run
         and detached after — unless the database already carries one
         (the service attaches it persistently), which is left alone.
+
+        ``deadline`` (absolute ``time.perf_counter()`` seconds) arms a
+        cooperative cancellation check between execution rounds: the
+        first round boundary past the deadline raises
+        :class:`~repro.errors.DeadlineError` instead of finishing the
+        run, so a timed-out query releases its gate slot and snapshot
+        pin promptly.  ``timeout_ms`` only annotates that error with
+        the caller's configured budget.
         """
         injector = None
         attached = []
@@ -458,7 +467,8 @@ class GTSEngine:
                     hp_hosts.append(candidate)
         try:
             return self._run(kernel, dataset_name, injector, hp,
-                             owns_profiler, query_id=query_id)
+                             owns_profiler, query_id=query_id,
+                             deadline=deadline, timeout_ms=timeout_ms)
         finally:
             for candidate in attached:
                 candidate.detach_fault_injector()
@@ -505,7 +515,8 @@ class GTSEngine:
         return shared if shared is not None else fallback
 
     def _run(self, kernel, dataset_name, injector, hp=None,
-             owns_profiler=False, query_id=None):
+             owns_profiler=False, query_id=None, deadline=None,
+             timeout_ms=None):
         wall_start = _time.perf_counter()
         db = self.db
         if hp is not None:
@@ -597,6 +608,20 @@ class GTSEngine:
 
         round_index = 0
         while True:
+            if deadline is not None:
+                now = _time.perf_counter()
+                if now > deadline:
+                    if timeout_ms is not None:
+                        elapsed = now - (deadline - timeout_ms / 1000.0)
+                    else:
+                        elapsed = now - wall_start
+                    raise DeadlineError(
+                        "query exceeded its deadline after %.1f ms "
+                        "(%d round(s) completed)"
+                        % (elapsed * 1000.0, round_index),
+                        timeout_ms=timeout_ms,
+                        elapsed_seconds=elapsed,
+                        rounds_completed=round_index)
             if hp is not None:
                 hp.push("frontier")
                 plan = kernel.next_round(state)
@@ -899,6 +924,7 @@ class GTSEngine:
             fault_stats=fault_stats,
             host_profile=host_profile,
             query_id=query_id,
+            snapshot_version=getattr(db, "topology_version", 0),
         )
 
     # ------------------------------------------------------------------

@@ -265,13 +265,27 @@ class WorkerPoolRegistry:
     def get(self, db, kernel, state, batch, workers=None):
         """The pool for this (database topology, kernel, batch) — built
         on first use, reused afterwards.  Pools keyed to a stale
-        topology version are shut down on the way."""
+        topology version are shut down on the way.
+
+        MVCC-aware: a database (or snapshot view) that exposes
+        ``live_versions()`` — the pinned snapshot versions plus the
+        current head — keeps pools for *all* of those versions alive,
+        so a query pinned at an old snapshot and a query on the
+        post-update head reuse their own forked workers side by side.
+        Databases without the hook keep the single-version behaviour.
+        """
         version = getattr(db, "topology_version", 0)
         workers = workers or self.max_workers or default_workers()
         key = (version, kernel.name, kernel.shard_params(state),
                batch.num_segments, int(workers))
+        live_versions = getattr(db, "live_versions", None)
+        if callable(live_versions):
+            live = set(live_versions())
+            live.add(version)
+        else:
+            live = {version}
         with self._lock:
-            stale = [k for k in self._pools if k[0] != version]
+            stale = [k for k in self._pools if k[0] not in live]
             for k in stale:
                 self._pools.pop(k).shutdown()
                 self.evicted += 1

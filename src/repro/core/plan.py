@@ -446,15 +446,23 @@ class RoundPlanCache:
     shares a single instance across every query on a database (injected
     via ``GTSEngine(plan_cache=...)``), so :meth:`get` is thread-safe: a
     build holds the cache lock, concurrent warm getters take a lock-free
-    fast path on the already-built plan, and ``contended``/``hits``/
-    ``builds`` feed the service's shared-cache accounting.  A
-    ``topology_version`` bump (dynamic update batch, compaction) makes
-    the next :meth:`get` rebuild.
+    fast path on an already-built plan, and ``contended``/``hits``/
+    ``builds`` feed the service's shared-cache accounting.
+
+    MVCC makes the cache multi-version: queries pinned at an older
+    snapshot run side by side with queries on the post-update head, so
+    the cache keeps up to ``max_plans`` versions at once (evicting the
+    oldest-inserted beyond that) instead of thrashing on every
+    alternation.  Plans are immutable after build, so a plan for a
+    reclaimed version is merely dead weight until evicted — never
+    wrong.
     """
 
-    def __init__(self):
-        self._plan = None
+    def __init__(self, max_plans=4):
+        self._plans = {}            # topology_version -> PagePlan
+        self._order = []            # insertion order, oldest first
         self._lock = InstrumentedLock()
+        self.max_plans = max(1, int(max_plans))
         self.builds = 0
         self.hits = 0
 
@@ -466,21 +474,22 @@ class RoundPlanCache:
     def get(self, db, host_profiler=None):
         """The plan for ``db``'s current topology (built on miss).
 
-        The fast path reads the already-built plan without taking the
-        lock — the reference is assigned atomically and plans are
-        immutable-after-build — so warm concurrent queries never
-        serialise here.  ``hits`` uses a racy increment on that path,
-        which can undercount by a handful under heavy threading; the
-        service treats it as an aggregate rate, not a ledger.
+        The fast path reads the per-version dict without taking the
+        lock — dict probes are atomic under the GIL, entries are
+        assigned whole, and plans are immutable-after-build — so warm
+        concurrent queries never serialise here.  ``hits`` uses a racy
+        increment on that path, which can undercount by a handful under
+        heavy threading; the service treats it as an aggregate rate,
+        not a ledger.
         """
         version = getattr(db, "topology_version", 0)
-        plan = self._plan
-        if plan is not None and plan.topology_version == version:
+        plan = self._plans.get(version)
+        if plan is not None:
             self.hits += 1
             return plan
         with self._lock:
-            plan = self._plan
-            if plan is not None and plan.topology_version == version:
+            plan = self._plans.get(version)
+            if plan is not None:
                 self.hits += 1
                 return plan
             if host_profiler is not None:
@@ -491,7 +500,10 @@ class RoundPlanCache:
                     host_profiler.pop()
             else:
                 plan = PagePlan(db)
-            self._plan = plan
+            self._plans[version] = plan
+            self._order.append(version)
+            while len(self._order) > self.max_plans:
+                self._plans.pop(self._order.pop(0), None)
             self.builds += 1
         return plan
 
@@ -502,10 +514,12 @@ class RoundPlanCache:
             "hits": self.hits,
             "builds": self.builds,
             "hit_rate": self.hits / total if total else 0.0,
+            "cached_plans": len(self._plans),
             "lock": self._lock.stats(),
         }
 
     def invalidate(self):
-        """Drop the cached plan (the next :meth:`get` rebuilds)."""
+        """Drop every cached plan (the next :meth:`get` rebuilds)."""
         with self._lock:
-            self._plan = None
+            self._plans = {}
+            self._order = []

@@ -111,6 +111,10 @@ class RunResult:
     #: service layer (``None`` for one-shot runs); tags traces, metrics
     #: and the ``--json`` payload.
     query_id: Optional[str] = None
+    #: Topology version the query executed against.  Under the service's
+    #: MVCC path this is the version pinned at submit time — concurrent
+    #: update batches bump the head but never this run's view.
+    snapshot_version: int = 0
 
     def analyze(self):
         """Trace analytics for this run: lane occupancy, the
@@ -246,6 +250,7 @@ class RunResult:
             "mmap_misses": self.mmap_misses,
             "mmap_hit_rate": self.mmap_hit_rate,
             "query_id": self.query_id,
+            "snapshot_version": self.snapshot_version,
             "execution": self.execution,
             "backend": self.backend,
             "transfer_busy_seconds": self.transfer_busy_seconds,

@@ -8,7 +8,9 @@ in the order a mutation flows through them:
 * :mod:`repro.dynamic.wal` — :class:`WriteAheadLog`, checksummed durable
   logging with torn-tail crash recovery;
 * :mod:`repro.dynamic.delta` — :class:`DynamicGraphDatabase`, the delta
-  page/tombstone overlay the engine reads through transparently;
+  page/tombstone overlay the engine reads through transparently, plus
+  MVCC snapshot isolation (:class:`Snapshot`, pin/release, version
+  reclamation) so queries run while batches commit;
 * :mod:`repro.dynamic.compact` — folding deltas back into a clean base
   with the original builder;
 * :mod:`repro.dynamic.incremental` — restreaming only dirtied pages
@@ -26,6 +28,7 @@ from repro.dynamic.compact import (
 from repro.dynamic.delta import (
     ApplyReport,
     DynamicGraphDatabase,
+    Snapshot,
     open_dynamic_database,
 )
 from repro.dynamic.incremental import (
@@ -50,6 +53,7 @@ __all__ = [
     "WAL_MAGIC",
     "WAL_HEADER_BYTES",
     "DynamicGraphDatabase",
+    "Snapshot",
     "ApplyReport",
     "open_dynamic_database",
     "compact",

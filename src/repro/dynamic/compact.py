@@ -26,8 +26,18 @@ the old-epoch WAL, which replays normally.  Compacting *without* a
 ``save_prefix`` leaves the WAL untouched: the on-disk base still
 predates the deltas, so the log's records remain the only durable copy
 of the folded batches.
+
+Compaction and MVCC: :func:`compact` runs under the database's commit
+lock (writers are excluded; the head it materialises cannot move) but
+never blocks readers — pinned snapshots keep serving their versions
+throughout, and the subsequent :meth:`~repro.dynamic.delta
+.DynamicGraphDatabase.swap_base` reclaims only versions no live query
+pins.  Pins are in-memory, so a crash mid-reclaim degenerates to the
+plain crash-mid-compaction orderings above: recovery replays (or
+epoch-discards) the WAL and owes nothing to the dead process's pins.
 """
 
+import contextlib
 import dataclasses
 
 import numpy as np
@@ -53,13 +63,18 @@ class CompactionReport:
     num_pages_before: int
     num_pages_after: int
     saved_prefix: object = None
+    #: Versions still retained after the swap because live queries pin
+    #: them (0 on a quiescent database: only the new head survives).
+    retained_versions: int = 0
 
     def summary(self):
         return ("compaction: folded %dB of delta from %d batch(es) -> "
-                "%d pages (%d before), V=%d E=%d"
+                "%d pages (%d before), V=%d E=%d, %d pinned version(s) "
+                "retained"
                 % (self.folded_bytes, self.folded_batches,
                    self.num_pages_after, self.num_pages_before,
-                   self.num_vertices, self.num_edges))
+                   self.num_vertices, self.num_edges,
+                   self.retained_versions))
 
 
 def materialise_graph(db):
@@ -106,18 +121,25 @@ def compact(db, save_prefix=None):
     crash-safe.  ``save_prefix`` must be the prefix whose WAL ``db``
     has attached (they commit as a pair); without one, the WAL is kept.
     """
-    folded_bytes = db.delta_bytes
-    folded_batches = db.applied_batches
-    pages_before = len(db.directory)
-    graph = materialise_graph(db)
-    new_base = build_database(graph, db.config, name=db.name)
-    new_epoch = None
-    if save_prefix is not None:
-        new_epoch = getattr(db, "base_epoch", 0) + 1
-        new_base.wal_epoch = new_epoch
-        save_database(new_base, save_prefix, wal_epoch=new_epoch)
-    db.swap_base(new_base, folded_bytes=folded_bytes,
-                 new_epoch=new_epoch)
+    # Exclude concurrent writers while the head is materialised and
+    # swapped; readers (pinned snapshots) are never blocked.
+    commit_lock = getattr(db, "_commit_lock", None)
+    with (commit_lock if commit_lock is not None
+          else contextlib.nullcontext()):
+        folded_bytes = db.delta_bytes
+        folded_batches = db.applied_batches
+        pages_before = len(db.directory)
+        graph = materialise_graph(db)
+        new_base = build_database(graph, db.config, name=db.name)
+        new_epoch = None
+        if save_prefix is not None:
+            new_epoch = getattr(db, "base_epoch", 0) + 1
+            new_base.wal_epoch = new_epoch
+            save_database(new_base, save_prefix, wal_epoch=new_epoch)
+        db.swap_base(new_base, folded_bytes=folded_bytes,
+                     new_epoch=new_epoch)
+        pinned = getattr(db, "pinned_versions", None)
+        retained = len(pinned()) if callable(pinned) else 0
     return CompactionReport(
         folded_bytes=folded_bytes,
         folded_batches=folded_batches,
@@ -126,6 +148,7 @@ def compact(db, save_prefix=None):
         num_pages_before=pages_before,
         num_pages_after=new_base.num_pages,
         saved_prefix=save_prefix,
+        retained_versions=retained,
     )
 
 

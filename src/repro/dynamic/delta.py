@@ -33,9 +33,34 @@ cover: a crash mid-compaction, after the folded base reached disk but
 before the WAL reset, leaves a log whose batches are already in the
 base pages; :func:`open_dynamic_database` detects the stale epoch and
 discards that log instead of double-applying it.
+
+Snapshot isolation (MVCC)
+-------------------------
+Every committed batch produces a new ``topology_version``, and the
+overlay state that *serves* each version is immutable once the next
+batch commits: :meth:`DynamicGraphDatabase.apply` clones the mutable
+overlay structures (copy-on-write) before touching them, freezes the
+result as a :class:`_VersionState`, and registers it in a per-database
+version chain.  Readers call :meth:`DynamicGraphDatabase.pin` to get a
+:class:`Snapshot` — a read-only :class:`~repro.format.database.GraphDatabase`
+view of one version — and run entire queries against it while writers
+keep committing; ``page(pid, version=...)`` resolves a single page as
+of any retained version.  Reclamation is epoch-style: a version is
+dropped as soon as it is neither the head nor pinned by any live
+snapshot (checked at every commit and every release), and retired
+file-backed bases left behind by an in-place compaction are closed once
+the last snapshot over them goes away.  Pins are in-memory only —
+crash recovery never has to honour them, so the WAL epoch protocol
+above is untouched.
+
+Concurrency contract: writers are serialised by a per-database commit
+lock; concurrent readers must go through :meth:`~DynamicGraphDatabase.pin`
+(or an already-pinned :class:`Snapshot`) — reading the *head* object
+while a batch is mid-apply is as unsynchronised as it always was.
 """
 
 import dataclasses
+import threading
 
 import numpy as np
 
@@ -57,6 +82,56 @@ class ApplyReport:
     inserted_edges: int = 0
     deleted_edges: int = 0
     added_vertices: int = 0
+    topology_version: int = 0
+
+
+class _VersionState:
+    """The frozen overlay state serving one committed topology version.
+
+    Freezing is O(1): the state holds *references* to the working
+    structures of the head at commit time, and the next
+    :meth:`DynamicGraphDatabase.apply` clones those structures before
+    mutating them (copy-on-write), so a registered state never changes
+    after the version it describes stops being the head.  The
+    ``merged`` memo is the one deliberately shared mutable member:
+    snapshots lazily park merged pages in it, which is safe because
+    merged pages are immutable and deterministic — concurrent inserters
+    can only write identical values.
+    """
+
+    __slots__ = ("version", "base", "base_pages", "base_vertices",
+                 "extras", "dead", "merged", "lp_runs", "directory",
+                 "num_pages", "rvt", "vertex_page", "out_degrees",
+                 "num_vertices", "num_edges", "_server")
+
+    def __init__(self, version, base, base_pages, base_vertices, extras,
+                 dead, merged, lp_runs, directory, num_pages, rvt,
+                 vertex_page, out_degrees, num_vertices, num_edges):
+        self.version = version
+        self.base = base
+        self.base_pages = base_pages
+        self.base_vertices = base_vertices
+        self.extras = extras
+        self.dead = dead
+        self.merged = merged
+        self.lp_runs = lp_runs
+        self.directory = directory
+        self.num_pages = num_pages
+        self.rvt = rvt
+        self.vertex_page = vertex_page
+        self.out_degrees = out_degrees
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self._server = None
+
+    def server(self, owner):
+        """A memoised unpinned :class:`Snapshot` serving this state
+        (the ``page(pid, version=...)`` path; pins get fresh handles)."""
+        srv = self._server
+        if srv is None:
+            srv = Snapshot(owner, self, pinned=False)
+            self._server = srv
+        return srv
 
 
 class DynamicGraphDatabase(GraphDatabase):
@@ -88,6 +163,18 @@ class DynamicGraphDatabase(GraphDatabase):
         self.added_vertices = 0
         self.compactions = 0
         self.compaction_folded_bytes = 0
+        # MVCC: the version chain, its pins, and reclamation accounting.
+        # ``_commit_lock`` serialises writers (apply / compaction);
+        # ``_version_lock`` guards the chain + pin map and is the only
+        # lock readers ever take (at pin / release, never per page).
+        self._commit_lock = threading.RLock()
+        self._version_lock = threading.Lock()
+        self._versions = {}      # topology_version -> _VersionState
+        self._pins = {}          # topology_version -> live pin count
+        self._retired_bases = []
+        self._owns_base = False  # open_dynamic_database() sets True
+        self.reclaimed_versions = 0
+        self.snapshots_pinned_total = 0
         self._adopt_base(base)
         super().__init__(
             pages=[None] * base.num_pages,
@@ -101,6 +188,8 @@ class DynamicGraphDatabase(GraphDatabase):
             vertex_page=base.vertex_page.copy(),
             name=base.name,
         )
+        # Register version 0 so queries can pin before any batch lands.
+        self._versions[0] = self._freeze_state()
 
     def _adopt_base(self, base):
         """(Re)point the overlay at a base database; resets delta state."""
@@ -130,7 +219,19 @@ class DynamicGraphDatabase(GraphDatabase):
     # ------------------------------------------------------------------
     # Page serving (the engine's view)
     # ------------------------------------------------------------------
-    def page(self, page_id):
+    def page(self, page_id, version=None):
+        """The merged page — of the head, or as of a retained version.
+
+        ``version`` selects a committed topology version still in the
+        chain (the head, or any version a live snapshot pins); pages of
+        reclaimed versions are gone and raise
+        :class:`~repro.errors.UpdateError`.
+        """
+        if version is not None and version != self.topology_version:
+            return self._version_view(version).page(page_id)
+        return self._serve_page(page_id)
+
+    def _serve_page(self, page_id):
         if page_id < 0 or page_id >= len(self.directory):
             raise FormatError("unknown page ID %d" % page_id)
         page = self._merged.get(page_id)
@@ -352,25 +453,70 @@ class DynamicGraphDatabase(GraphDatabase):
         Returns an :class:`ApplyReport`.  Validation happens *before*
         the WAL append, so the log only ever contains applicable
         batches (replay cannot fail on a committed record).
+
+        Commits never block readers: pinned snapshots keep serving the
+        overlay structures this call clones before mutating, and the
+        new version becomes pinnable atomically with the version bump.
         """
         if not isinstance(batch, UpdateBatch):
             raise UpdateError("apply() expects an UpdateBatch")
-        self._check_batch(batch)
-        lsn = None
-        if log and self.wal is not None:
-            lsn = self.wal.append(batch)
-        report = self._apply_ops(batch)
-        report.lsn = lsn
-        self.applied_batches += 1
-        self.topology_version += 1
+        with self._commit_lock:
+            self._check_batch(batch)
+            lsn = None
+            if log and self.wal is not None:
+                lsn = self.wal.append(batch)
+            self._unshare()
+            report = self._apply_ops(batch)
+            report.lsn = lsn
+            self.applied_batches += 1
+            with self._version_lock:
+                self.topology_version += 1
+                report.topology_version = self.topology_version
+                self._versions[self.topology_version] = \
+                    self._freeze_state()
+                self._reclaim_locked()
         if self.recorder is not None:
             self.recorder.instant(
                 "delta_apply", "host", "dynamic", 0.0,
                 inserted=report.inserted_edges,
                 deleted=report.deleted_edges,
                 vertices=report.added_vertices,
-                pages=len(report.affected_pids))
+                pages=len(report.affected_pids),
+                version=report.topology_version)
         return report
+
+    def _unshare(self):
+        """Copy-on-write step: clone every overlay structure the frozen
+        head state shares before this apply mutates it.  ``_lp_runs``,
+        ``rvt`` and ``vertex_page`` are exempt — mutation only ever
+        *rebinds* them (``np.concatenate``), never edits in place."""
+        self._extras = {vid: (list(t), list(w))
+                        for vid, (t, w) in self._extras.items()}
+        self._dead = {vid: set(s) for vid, s in self._dead.items()}
+        self._merged = dict(self._merged)
+        self.directory = list(self.directory)
+        self.out_degrees = self.out_degrees.copy()
+
+    def _freeze_state(self):
+        """Freeze the current head as an immutable :class:`_VersionState`
+        (O(1): shares the working structures; see :meth:`_unshare`)."""
+        return _VersionState(
+            version=self.topology_version,
+            base=self._base,
+            base_pages=self._base_pages,
+            base_vertices=self._base_vertices,
+            extras=self._extras,
+            dead=self._dead,
+            merged=self._merged,
+            lp_runs=self._lp_runs,
+            directory=self.directory,
+            num_pages=len(self.directory),
+            rvt=self.rvt,
+            vertex_page=self.vertex_page,
+            out_degrees=self.out_degrees,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+        )
 
     def _check_batch(self, batch):
         """Trial-run the batch without mutating state; raises on the
@@ -545,6 +691,138 @@ class DynamicGraphDatabase(GraphDatabase):
             dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # MVCC: pinning, version resolution, reclamation
+    # ------------------------------------------------------------------
+    def pin(self):
+        """Pin the current head and return a read-only :class:`Snapshot`.
+
+        The pinned version is retained — immune to reclamation and to
+        compaction folding — until :meth:`Snapshot.release`.  Pinning
+        is wait-free with respect to writers: it takes only the version
+        lock, which commits hold for a dict insert, never for I/O.
+        """
+        with self._version_lock:
+            state = self._versions[self.topology_version]
+            self._pins[state.version] = self._pins.get(state.version,
+                                                       0) + 1
+            self.snapshots_pinned_total += 1
+            pins = self._pins[state.version]
+        if self.recorder is not None:
+            self.recorder.instant("snapshot_pin", "host", "snapshot",
+                                  0.0, version=state.version, pins=pins)
+        return Snapshot(self, state, pinned=True)
+
+    def _release_pin(self, version):
+        """Drop one pin on ``version`` and reclaim whatever that frees."""
+        with self._version_lock:
+            count = self._pins.get(version, 0) - 1
+            if count > 0:
+                self._pins[version] = count
+            else:
+                self._pins.pop(version, None)
+            self._reclaim_locked()
+        if self.recorder is not None:
+            self.recorder.instant("snapshot_release", "host", "snapshot",
+                                  0.0, version=version,
+                                  pins=max(0, count))
+
+    def _version_view(self, version):
+        """The memoised read-only view serving a retained ``version``."""
+        with self._version_lock:
+            state = self._versions.get(version)
+            retained = sorted(self._versions)
+        if state is None:
+            raise UpdateError(
+                "topology version %d is not retained (head %d, "
+                "retained: %s)" % (version, self.topology_version,
+                                   retained))
+        return state.server(self)
+
+    def snapshot(self, version=None):
+        """An *unpinned* read-only view of a retained version (the head
+        by default).  Unlike :meth:`pin` it does not protect the
+        version from reclamation — use it for one-off reads."""
+        if version is None:
+            version = self.topology_version
+        return self._version_view(version)
+
+    def pinned_versions(self):
+        """Sorted topology versions live snapshots currently pin."""
+        with self._version_lock:
+            return sorted(self._pins)
+
+    def live_versions(self):
+        """Pinned versions plus the head — everything reclamation must
+        keep (the :class:`~repro.core.parallel.WorkerPoolRegistry`
+        eviction hook)."""
+        with self._version_lock:
+            live = set(self._pins)
+            live.add(self.topology_version)
+            return sorted(live)
+
+    def _reclaim_locked(self):
+        """Drop versions that are neither head nor pinned (epoch-based
+        reclamation); prune their scatter entries and retire bases no
+        retained state references.  Caller holds ``_version_lock``."""
+        head = self.topology_version
+        dead = [v for v in self._versions
+                if v != head and v not in self._pins]
+        if not dead:
+            return 0
+        for v in dead:
+            del self._versions[v]
+        self.reclaimed_versions += len(dead)
+        for v in dead:
+            self.drop_scatter_version(v)
+        self._retire_bases_locked()
+        if self.recorder is not None:
+            self.recorder.instant(
+                "snapshot_reclaim", "host", "snapshot", 0.0,
+                versions=len(dead), oldest=min(dead),
+                chain=len(self._versions))
+        return len(dead)
+
+    def _retire_bases_locked(self):
+        """Close retired (pre-compaction) bases once no retained state
+        serves from them, and evict their shared-cache entries."""
+        if not self._retired_bases:
+            return
+        live = {id(self._base)}
+        live.update(id(s.base) for s in self._versions.values())
+        still_referenced = []
+        for base in self._retired_bases:
+            if id(base) in live:
+                still_referenced.append(base)
+                continue
+            shared = getattr(base, "shared_cache", None)
+            if shared is not None and hasattr(shared, "drop_version"):
+                shared.drop_version(getattr(base, "topology_version", 0))
+            if self._owns_base:
+                close = getattr(base, "close", None)
+                if close is not None:
+                    close()
+        self._retired_bases = still_referenced
+
+    def mvcc_stats(self):
+        """Snapshot-isolation health counters (service `/stats`,
+        ``collect_dynamic_metrics``)."""
+        with self._version_lock:
+            pins = dict(self._pins)
+            chain = len(self._versions)
+            head = self.topology_version
+        oldest = min(pins) if pins else None
+        return {
+            "pinned_snapshots": sum(pins.values()),
+            "pinned_versions": len(pins),
+            "oldest_pinned_version": oldest,
+            "oldest_pinned_lag": (head - oldest
+                                  if oldest is not None else 0),
+            "version_chain_length": chain,
+            "reclaimed_versions": self.reclaimed_versions,
+            "snapshots_pinned_total": self.snapshots_pinned_total,
+        }
+
+    # ------------------------------------------------------------------
     # Delta accounting (compaction trigger + repro.obs)
     # ------------------------------------------------------------------
     @property
@@ -559,7 +837,9 @@ class DynamicGraphDatabase(GraphDatabase):
 
     def dynamic_stats(self):
         """Counter snapshot consumed by ``repro.obs`` and the CLI."""
-        return {
+        stats = self.mvcc_stats()
+        stats.update({
+            "topology_version": self.topology_version,
             "base_epoch": self.base_epoch,
             "applied_batches": self.applied_batches,
             "inserted_edges": self.inserted_edges,
@@ -575,7 +855,8 @@ class DynamicGraphDatabase(GraphDatabase):
                                      if self.wal else 0),
             "wal_bytes_appended": (self.wal.bytes_appended
                                    if self.wal else 0),
-        }
+        })
+        return stats
 
     # ------------------------------------------------------------------
     # Base swap (compaction commits through here)
@@ -590,7 +871,24 @@ class DynamicGraphDatabase(GraphDatabase):
         stamped with the new epoch.  Without it the WAL is left intact —
         the on-disk base still predates the deltas, so the log's records
         remain the only durable copy of the folded batches.
+
+        MVCC-safe: versions pinned by live snapshots keep serving from
+        the *old* base (a file-backed old base holds its file
+        descriptor, so even an in-place durable compaction cannot
+        corrupt them — the replaced inode lives until close).  The old
+        base is retired and closed only when its last retained version
+        is reclaimed.
         """
+        old_base = self._base
+        new_head = self.topology_version + 1
+        # The folded base gets the new head as its cache-version tag so
+        # (page_id, version) keys in a shared cache and scatter cache
+        # can never collide with entries of the base it replaces.
+        if getattr(new_base, "topology_version", 0) != new_head:
+            new_base.topology_version = new_head
+        shared = getattr(old_base, "shared_cache", None)
+        if shared is not None and hasattr(new_base, "attach_shared_cache"):
+            new_base.attach_shared_cache(shared)
         self._adopt_base(new_base)
         self.pages = [None] * new_base.num_pages
         self.directory = list(new_base.directory)
@@ -603,7 +901,12 @@ class DynamicGraphDatabase(GraphDatabase):
         self._refresh_page_index()
         self.compactions += 1
         self.compaction_folded_bytes += folded_bytes
-        self.topology_version += 1
+        with self._version_lock:
+            self.topology_version = new_head
+            self._versions[new_head] = self._freeze_state()
+            if old_base is not new_base:
+                self._retired_bases.append(old_base)
+            self._reclaim_locked()
         if new_epoch is not None:
             self.base_epoch = new_epoch
             if self.wal is not None:
@@ -655,6 +958,114 @@ class DynamicGraphDatabase(GraphDatabase):
                    self.delta_bytes, self.num_delta_pages))
 
 
+class Snapshot(GraphDatabase):
+    """A read-only view of one retained topology version.
+
+    Returned by :meth:`DynamicGraphDatabase.pin` (a *pinned* handle
+    that must be :meth:`release`-d, also usable as a context manager)
+    and by :meth:`DynamicGraphDatabase.snapshot` (unpinned, for one-off
+    reads).  It is a full :class:`~repro.format.database.GraphDatabase`:
+    the engine runs whole queries against it exactly as against the
+    head, and its ``topology_version`` is the pinned version, so every
+    version-keyed cache in the stack (shared page cache, round-plan
+    cache, scatter indexes, worker pools) serves versions side by side.
+
+    The view holds *references* into the owner's frozen
+    :class:`_VersionState` — construction copies nothing but a
+    page-count-sized placeholder list — and shares the owner's scatter
+    cache (entries are ``(page_id, version)``-keyed).
+    """
+
+    # Page merging is identical to the head's — same overlay attribute
+    # names, frozen contents — so the serving methods are shared with
+    # DynamicGraphDatabase rather than duplicated.
+    _serve_page = DynamicGraphDatabase._serve_page
+    _materialise = DynamicGraphDatabase._materialise
+    _merge_base = DynamicGraphDatabase._merge_base
+    _merge_small = DynamicGraphDatabase._merge_small
+    _merge_large = DynamicGraphDatabase._merge_large
+    _extension_page = DynamicGraphDatabase._extension_page
+    _physical_ids = DynamicGraphDatabase._physical_ids
+    _base_targets = DynamicGraphDatabase._base_targets
+    effective_neighbors = DynamicGraphDatabase.effective_neighbors
+    is_small = DynamicGraphDatabase.is_small
+    validate = DynamicGraphDatabase.validate
+    pool_hits = DynamicGraphDatabase.pool_hits
+    pool_misses = DynamicGraphDatabase.pool_misses
+
+    def __init__(self, owner, state, pinned=True):
+        self._owner = owner
+        self._state = state
+        self._pinned = pinned
+        self._released = False
+        self._base = state.base
+        self._base_pages = state.base_pages
+        self._base_vertices = state.base_vertices
+        self._extras = state.extras
+        self._dead = state.dead
+        self._merged = state.merged
+        self._lp_runs = state.lp_runs
+        super().__init__(
+            pages=[None] * state.num_pages,
+            directory=state.directory,
+            rvt=state.rvt,
+            config=owner.config,
+            num_vertices=state.num_vertices,
+            num_edges=state.num_edges,
+            out_degrees=state.out_degrees,
+            vertex_page=state.vertex_page,
+            name=owner.name,
+        )
+        self.topology_version = state.version
+        # One scatter cache per database, shared across versions.
+        self._scatter_cache = owner._scatter_cache
+        self._scatter_lock = owner._scatter_lock
+
+    @property
+    def version(self):
+        """The topology version this snapshot serves."""
+        return self._state.version
+
+    @property
+    def released(self):
+        return self._released
+
+    def page(self, page_id, version=None):
+        if version is not None and version != self.topology_version:
+            return self._owner.page(page_id, version=version)
+        return self._serve_page(page_id)
+
+    def pinned_versions(self):
+        return self._owner.pinned_versions()
+
+    def live_versions(self):
+        return self._owner.live_versions()
+
+    def release(self):
+        """Drop this snapshot's pin (idempotent; no-op when unpinned).
+
+        After the last pin on a version goes away the owner may reclaim
+        it — keep no references to pages served from a released
+        snapshot's version if you need them to stay consistent."""
+        if self._pinned and not self._released:
+            self._released = True
+            self._owner._release_pin(self._state.version)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return ("Snapshot(%s@v%d: V=%d, E=%d%s)"
+                % (self.name, self._state.version, self.num_vertices,
+                   self.num_edges,
+                   ", pinned" if self._pinned and not self._released
+                   else ""))
+
+
 def open_dynamic_database(prefix, pool_pages=None, fsync=True,
                           recorder=None, store_mode="copy"):
     """Open ``<prefix>``'s base + WAL and replay committed batches.
@@ -683,6 +1094,7 @@ def open_dynamic_database(prefix, pool_pages=None, fsync=True,
     wal = WriteAheadLog(prefix + ".wal", fsync=fsync, recorder=recorder,
                         epoch=base_epoch)
     db = DynamicGraphDatabase(base, wal=wal, recorder=recorder)
+    db._owns_base = True
     if wal.epoch < base_epoch:
         wal.reset(epoch=base_epoch)
     elif wal.epoch > base_epoch:

@@ -149,6 +149,26 @@ class ShutdownError(ServiceError):
     """
 
 
+class DeadlineError(ServiceError):
+    """A query exceeded its caller-supplied deadline (``timeout_ms``).
+
+    Raised cooperatively: the engine checks the deadline between
+    execution rounds (and the service checks it before a queued query
+    even starts), so a timed-out query releases its snapshot pin and
+    its gate slot instead of hanging onto them.  The HTTP layer maps
+    this to 504 and the ``query`` CLI to exit code 4.  Carries the
+    configured budget and the host wall-clock elapsed when the check
+    fired.
+    """
+
+    def __init__(self, message, timeout_ms=None, elapsed_seconds=None,
+                 rounds_completed=None):
+        super().__init__(message)
+        self.timeout_ms = timeout_ms
+        self.elapsed_seconds = elapsed_seconds
+        self.rounds_completed = rounds_completed
+
+
 class DeviceLostError(FaultError):
     """A whole simulated device failed and its loss is unrecoverable.
 

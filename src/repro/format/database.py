@@ -116,24 +116,28 @@ class GraphDatabase:
     def scatter_index(self, page):
         """Database-level sorted-scatter index for ``page``.
 
-        Keyed by ``(page_id, topology_version)``: stale entries from
-        before a dynamic-update batch are dropped lazily, and pool
-        evictions in :class:`~repro.format.io.FileBackedDatabase` no
-        longer force an argsort recompute.  ``scatter_hits`` /
-        ``scatter_misses`` feed the engine's per-run counters.
+        Keyed by ``(page_id, topology_version)``, so snapshots pinned
+        at different MVCC versions share one cache without thrashing:
+        entries for versions still pinned stay warm side by side, pool
+        evictions in :class:`~repro.format.io.FileBackedDatabase` never
+        force an argsort recompute, and the reclamation path prunes
+        keys of reclaimed versions via :meth:`drop_scatter_version`.
+        ``scatter_hits`` / ``scatter_misses`` feed the engine's per-run
+        counters.
 
         Thread-safe for the service's concurrent queries: the hit path
-        is a lock-free dict probe (entries are immutable tuples, and a
-        racy hit-counter increment may undercount slightly under heavy
+        is a lock-free dict probe (entries are immutable, and a racy
+        hit-counter increment may undercount slightly under heavy
         threading — the counters are rates, not ledgers); the miss path
         computes the argsort outside the lock and inserts under it, so
         two simultaneous missers at worst duplicate one argsort and the
         last identical value wins.
         """
-        cached = self._scatter_cache.get(page.page_id)
-        if cached is not None and cached[0] == self.topology_version:
+        key = (page.page_id, self.topology_version)
+        cached = self._scatter_cache.get(key)
+        if cached is not None:
             self.scatter_hits += 1
-            return cached[1]
+            return cached
         # Profiling hooks live on the miss path only: cache hits stay a
         # dict probe regardless of profiling.
         hp = self.host_profiler
@@ -145,9 +149,21 @@ class GraphDatabase:
             index = sorted_scatter_index(page.adj_vids)
         with self._scatter_lock:
             self.scatter_misses += 1
-            self._scatter_cache[page.page_id] = (self.topology_version,
-                                                 index)
+            self._scatter_cache[key] = index
         return index
+
+    def drop_scatter_version(self, version):
+        """Prune scatter-index entries cached under ``version``.
+
+        Called by the MVCC reclamation path when a topology version
+        loses its last pin; without it, a long-lived dynamic database
+        would accumulate one generation of argsort arrays per batch.
+        """
+        with self._scatter_lock:
+            stale = [k for k in self._scatter_cache if k[1] == version]
+            for k in stale:
+                del self._scatter_cache[k]
+            return len(stale)
 
     def scatter_lock_stats(self):
         """Scatter-cache lock contention counters (service stats)."""

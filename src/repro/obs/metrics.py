@@ -365,6 +365,23 @@ def collect_dynamic_metrics(db, registry=None):
     registry.counter("compaction.count").inc(stats["compactions"])
     registry.counter("compaction.folded_bytes").inc(
         stats["compaction_folded_bytes"])
+    registry.gauge("mvcc.pinned_snapshots",
+                   "live snapshot handles pinning a version"
+                   ).set(stats.get("pinned_snapshots", 0))
+    registry.gauge("mvcc.pinned_versions",
+                   "distinct topology versions kept alive by pins"
+                   ).set(stats.get("pinned_versions", 0))
+    registry.gauge("mvcc.oldest_pinned_lag",
+                   "head version minus oldest pinned version"
+                   ).set(stats.get("oldest_pinned_lag", 0))
+    registry.gauge("mvcc.version_chain_length",
+                   "retained versions including the head"
+                   ).set(stats.get("version_chain_length", 1))
+    registry.counter("mvcc.reclaimed_versions",
+                     "versions reclaimed after their pins released"
+                     ).inc(stats.get("reclaimed_versions", 0))
+    registry.counter("mvcc.snapshots_pinned_total").inc(
+        stats.get("snapshots_pinned_total", 0))
     return registry
 
 
@@ -421,4 +438,30 @@ def collect_service_metrics(stats, registry=None):
             plan.get("builds", 0))
         registry.counter(prefix + ".exclusive_queries").inc(
             db_stats.get("exclusive_queries", 0))
+        registry.counter(prefix + ".updates",
+                         "update batches committed on this handle"
+                         ).inc(db_stats.get("updates", 0))
+        gate = db_stats.get("gate") or {}
+        registry.gauge(prefix + ".gate_writers_waiting").set(
+            gate.get("writers_waiting", 0))
+        registry.counter(prefix + ".gate_writer_wait_seconds",
+                         "cumulative time writers spent waiting for "
+                         "the gate").inc(gate.get("writer_wait_seconds",
+                                                  0.0))
+        mvcc = db_stats.get("mvcc")
+        if mvcc:
+            registry.gauge(prefix + ".mvcc_pinned_snapshots").set(
+                mvcc.get("pinned_snapshots", 0))
+            registry.gauge(prefix + ".mvcc_oldest_pinned_lag").set(
+                mvcc.get("oldest_pinned_lag", 0))
+            registry.gauge(prefix + ".mvcc_version_chain_length").set(
+                mvcc.get("version_chain_length", 1))
+            registry.counter(prefix + ".mvcc_reclaimed_versions").inc(
+                mvcc.get("reclaimed_versions", 0))
+    registry.counter("service.deadline_exceeded",
+                     "queries that overran timeout_ms (HTTP 504)"
+                     ).inc(stats.get("deadline_exceeded", 0))
+    registry.counter("service.updates_applied",
+                     "live update batches committed via the service"
+                     ).inc(stats.get("updates_applied", 0))
     return registry

@@ -14,6 +14,7 @@ import urllib.request
 
 from repro.errors import (
     AdmissionError,
+    DeadlineError,
     ServiceError,
     ShutdownError,
 )
@@ -64,6 +65,12 @@ class ServiceClient:
                 from None
         if error.code == 503:
             raise ShutdownError(message) from None
+        if error.code == 504:
+            raise DeadlineError(
+                message,
+                timeout_ms=body.get("timeout_ms"),
+                elapsed_seconds=body.get("elapsed_seconds"),
+                rounds_completed=body.get("rounds_completed")) from None
         raise ServiceError("server rejected request (HTTP %d): %s"
                            % (error.code, message)) from None
 
@@ -100,3 +107,17 @@ class ServiceClient:
         if include_values:
             payload["include_values"] = True
         return self._request("/query", payload)
+
+    def update(self, database, batch, compact_threshold=None):
+        """Apply an update batch to a served dynamic database.
+
+        ``batch`` is an :class:`~repro.dynamic.UpdateBatch` or its
+        ``to_dict()`` payload; returns the server's commit report
+        (new topology version, op counts, MVCC stats).
+        """
+        if hasattr(batch, "to_dict"):
+            batch = batch.to_dict()
+        payload = {"database": database, "batch": batch}
+        if compact_threshold is not None:
+            payload["compact_threshold"] = compact_threshold
+        return self._request("/update", payload)

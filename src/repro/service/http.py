@@ -9,6 +9,12 @@ Endpoints:
   :meth:`~repro.service.service.QueryRequest.from_dict` payload, the
   response a :meth:`~repro.core.result.RunResult.to_dict` (pass
   ``"include_values": true`` in the body for full output vectors).
+* ``POST /update`` — apply an update batch to a served dynamic
+  database while queries run; the body is ``{"database": ...,
+  "batch": {"ops": [...]}}`` (an
+  :meth:`~repro.dynamic.UpdateBatch.to_dict` payload) plus an optional
+  ``"compact_threshold"``; the response is
+  :meth:`~repro.service.service.GraphService.update`'s commit report.
 
 Typed service errors map to distinct status codes so clients can react
 without parsing prose: 400 for invalid requests
@@ -16,7 +22,9 @@ without parsing prose: 400 for invalid requests
 :class:`~repro.errors.GTSError`\\ s), 429 for admission rejections
 (:class:`~repro.errors.AdmissionError`, with the controller's state in
 the body), 503 while draining (:class:`~repro.errors.ShutdownError`),
-500 for anything unexpected.  The server is a
+504 when a query overruns its ``timeout_ms`` engine option
+(:class:`~repro.errors.DeadlineError`, with the elapsed time in the
+body), 500 for anything unexpected.  The server is a
 :class:`~http.server.ThreadingHTTPServer`: each request gets its own
 thread, which then blocks on the service's admission-controlled pool —
 back-pressure comes from the service, not from the socket listener.
@@ -27,6 +35,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import (
     AdmissionError,
+    DeadlineError,
     GTSError,
     ServiceError,
     ShutdownError,
@@ -73,7 +82,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "unknown path %r" % self.path})
 
     def do_POST(self):
-        if self.path != "/query":
+        if self.path not in ("/query", "/update"):
             self._send_json(404, {"error": "unknown path %r" % self.path})
             return
         length = int(self.headers.get("Content-Length") or 0)
@@ -90,8 +99,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             if isinstance(payload, dict) else False
         service = self.server.service
         try:
-            request = QueryRequest.from_dict(payload)
-            result = service.submit(request).result()
+            if self.path == "/update":
+                response = self._do_update(service, payload)
+            else:
+                request = QueryRequest.from_dict(payload)
+                result = service.submit(request).result()
+                response = result.to_dict(include_values=include_values)
         except AdmissionError as error:
             self._send_json(429, {
                 "error": str(error),
@@ -104,6 +117,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except ShutdownError as error:
             self._send_json(503, {"error": str(error),
                                   "type": "ShutdownError"})
+        except DeadlineError as error:
+            # 504: the query ran, but past its caller-supplied budget.
+            self._send_json(504, {
+                "error": str(error),
+                "type": "DeadlineError",
+                "timeout_ms": error.timeout_ms,
+                "elapsed_seconds": error.elapsed_seconds,
+                "rounds_completed": error.rounds_completed,
+            })
         except ServiceError as error:
             self._send_json(400, {"error": str(error),
                                   "type": "ServiceError"})
@@ -114,8 +136,23 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(error),
                                   "type": type(error).__name__})
         else:
-            self._send_json(200, result.to_dict(
-                include_values=include_values))
+            self._send_json(200, response)
+
+    @staticmethod
+    def _do_update(service, payload):
+        """Validate and apply a ``POST /update`` body."""
+        if not isinstance(payload, dict):
+            raise ServiceError("update payload must be a JSON object")
+        extras = set(payload) - {"database", "batch", "compact_threshold"}
+        if extras:
+            raise ServiceError(
+                "unknown update key(s): %s" % ", ".join(sorted(extras)))
+        if "database" not in payload or "batch" not in payload:
+            raise ServiceError(
+                "update payload needs 'database' and 'batch' keys")
+        return service.update(payload["database"], payload["batch"],
+                              compact_threshold=payload.get(
+                                  "compact_threshold"))
 
 
 def make_server(service, host="127.0.0.1", port=0, verbose=False):

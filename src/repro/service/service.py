@@ -26,6 +26,15 @@ Queries whose fault plan injects host-read corruption attach
 process-global state to the shared database, so they take the
 database's :class:`~repro.concurrency.ReadWriteGate` exclusively and
 run alone; ordinary queries share the gate and run fully concurrently.
+
+Live updates (:meth:`GraphService.update`) commit through the dynamic
+store's MVCC path instead of the gate's exclusive mode: each query pins
+the topology version current at its start and runs against that
+snapshot end to end, so update batches — and even compaction — land
+mid-query without blocking readers or perturbing their results.  A
+query may bound its total latency with the ``timeout_ms`` engine
+option; the engine checks the deadline between rounds and raises
+:class:`~repro.errors.DeadlineError` (HTTP 504, CLI exit code 4).
 """
 
 import itertools
@@ -52,6 +61,7 @@ from repro.core.plan import RoundPlanCache
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
+    DeadlineError,
     ServiceError,
     ShutdownError,
 )
@@ -87,6 +97,11 @@ ENGINE_OPTIONS = {
     "backend": "serial",
     "backend_workers": None,
     "io_merge": False,
+    # Per-query deadline in milliseconds (None = unlimited).  The clock
+    # starts at submit, so queue wait counts against the budget; the
+    # engine checks it cooperatively between rounds and raises
+    # DeadlineError (HTTP 504, CLI exit 4) when exceeded.
+    "timeout_ms": None,
 }
 
 
@@ -146,9 +161,11 @@ class _ServedDatabase:
     """A database handle plus the caches every query on it shares."""
 
     __slots__ = ("name", "db", "shared_cache", "plan_cache", "gate",
-                 "queries", "worker_pools", "owns_db")
+                 "queries", "worker_pools", "owns_db", "writer_lock",
+                 "updates", "prefix")
 
-    def __init__(self, name, db, shared_cache_pages=None, owns_db=False):
+    def __init__(self, name, db, shared_cache_pages=None, owns_db=False,
+                 prefix=None):
         self.name = name
         self.db = db
         self.shared_cache = SharedPageCache(
@@ -164,6 +181,15 @@ class _ServedDatabase:
         #: True when the service opened the database itself (via
         #: ``prefix=``) and therefore owns closing its file handles.
         self.owns_db = owns_db
+        #: On-disk prefix when the service opened the database; lets
+        #: in-service compaction persist the folded base durably.
+        self.prefix = prefix
+        # Serialises update batches on this handle.  Updates do NOT
+        # take the gate exclusively: MVCC commits a new version while
+        # pinned readers keep serving theirs.  They do share the gate
+        # as readers, so fault-injecting queries still run alone.
+        self.writer_lock = InstrumentedLock()
+        self.updates = 0
         # Attach to the handle *and* its base (dynamic overlays keep
         # their file-backed pages on ``_base``, whose miss path is what
         # consults the shared cache).
@@ -185,7 +211,11 @@ class _ServedDatabase:
             "shared_cache": self.shared_cache.stats(),
             "plan_cache": self.plan_cache.stats(),
             "exclusive_queries": self.gate.exclusive_acquisitions,
+            "gate": self.gate.stats(),
+            "updates": self.updates,
         }
+        if hasattr(db, "mvcc_stats"):
+            out["mvcc"] = db.mvcc_stats()
         out["worker_pools"] = self.worker_pools.stats()
         if hasattr(db, "scatter_lock_stats"):
             out["scatter_lock"] = db.scatter_lock_stats()
@@ -246,6 +276,8 @@ class GraphService:
         self.rejected_shutdown = 0
         self.peak_in_flight = 0
         self.peak_queued = 0
+        self.deadline_exceeded = 0
+        self.updates_applied = 0
         self._wall_latencies = []
 
     # ------------------------------------------------------------------
@@ -277,7 +309,7 @@ class GraphService:
                     "database %r is already being served" % name)
             self._databases[name] = _ServedDatabase(
                 name, db, shared_cache_pages=self.shared_cache_pages,
-                owns_db=owns_db)
+                owns_db=owns_db, prefix=prefix)
         return db
 
     def remove_database(self, name):
@@ -351,7 +383,14 @@ class GraphService:
             self._drained.clear()
             if request.query_id is None:
                 request.query_id = "q%d" % next(self._query_ids)
-        return self._executor.submit(self._execute, request, entry)
+        # The deadline clock starts now — queue wait counts against the
+        # caller's budget, so a query stuck behind a full pool times out
+        # instead of running long after the client gave up.
+        timeout_ms = request.options.get("timeout_ms")
+        deadline = (_time.perf_counter() + timeout_ms / 1000.0
+                    if timeout_ms is not None else None)
+        return self._executor.submit(self._execute, request, entry,
+                                     deadline, timeout_ms)
 
     def query(self, database, algorithm, **kwargs):
         """Blocking convenience: submit and wait for the RunResult.
@@ -362,6 +401,78 @@ class GraphService:
         """
         return self.submit(QueryRequest(database, algorithm,
                                         **kwargs)).result()
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def update(self, database, batch, compact_threshold=None):
+        """Apply an :class:`~repro.dynamic.UpdateBatch` to a served
+        database while queries keep running.
+
+        MVCC makes this safe without stopping the world: the batch
+        commits a new topology version; queries already in flight keep
+        their pinned snapshot, queries submitted afterwards see the new
+        head.  Batches on one handle serialise on its writer lock;
+        against *readers* the update only takes the gate in shared
+        mode, so it excludes fault-injecting exclusive queries (which
+        mutate process-global read state) but never ordinary ones.
+
+        ``compact_threshold`` (bytes) folds the delta overlay once it
+        exceeds the threshold, persisting the new base durably when the
+        service opened the database from a ``prefix``.  Returns a
+        JSON-ready dict describing the commit.
+        """
+        from repro.dynamic.batch import UpdateBatch
+        from repro.dynamic.compact import maybe_compact
+
+        entry = self._entry(database)
+        if isinstance(batch, dict):
+            batch = UpdateBatch.from_dict(batch)
+        if not hasattr(entry.db, "apply"):
+            raise ServiceError(
+                "database %r is not dynamic; serve it through "
+                "open_dynamic_database (prefix=) to accept updates"
+                % database)
+        with self._lock:
+            if self._draining:
+                self.rejected_shutdown += 1
+                raise ShutdownError(
+                    "service is draining; update to %r rejected"
+                    % database)
+        with entry.writer_lock:
+            entry.gate.acquire_read()
+            try:
+                report = entry.db.apply(batch)
+            finally:
+                entry.gate.release_read()
+            compaction = None
+            if compact_threshold is not None:
+                save_prefix = entry.prefix if entry.owns_db else None
+                compaction = maybe_compact(
+                    entry.db, threshold_bytes=compact_threshold,
+                    save_prefix=save_prefix)
+        with self._lock:
+            entry.updates += 1
+            self.updates_applied += 1
+        out = {
+            "database": database,
+            "topology_version": report.topology_version,
+            "edges_inserted": report.inserted_edges,
+            "edges_deleted": report.deleted_edges,
+            "vertices_added": report.added_vertices,
+            "delta_bytes": entry.db.delta_bytes,
+            "compacted": compaction is not None,
+        }
+        if compaction is not None:
+            out["compaction"] = {
+                "folded_bytes": compaction.folded_bytes,
+                "folded_batches": compaction.folded_batches,
+                "num_pages_after": compaction.num_pages_after,
+                "retained_versions": compaction.retained_versions,
+            }
+        if hasattr(entry.db, "mvcc_stats"):
+            out["mvcc"] = entry.db.mvcc_stats()
+        return out
 
     def _validate(self, request, entry):
         spec = ALGORITHMS.get(request.algorithm)
@@ -379,14 +490,21 @@ class GraphService:
             raise ServiceError(
                 "start vertex %r outside database %r (%d vertices)"
                 % (start, entry.name, entry.db.num_vertices))
+        timeout_ms = request.options.get("timeout_ms")
+        if timeout_ms is not None and not (
+                isinstance(timeout_ms, (int, float))
+                and timeout_ms > 0):
+            raise ServiceError(
+                "timeout_ms must be a positive number, got %r"
+                % (timeout_ms,))
 
-    def _build_engine(self, request, entry):
+    def _build_engine(self, request, entry, db=None):
         options = dict(ENGINE_OPTIONS)
         options.update(request.options)
         machine = scaled_workstation(num_gpus=options["num_gpus"],
                                      num_ssds=options["num_ssds"])
         return GTSEngine(
-            entry.db, machine,
+            entry.db if db is None else db, machine,
             strategy=options["strategy"],
             num_streams=options["num_streams"],
             micro_technique=options["micro_technique"],
@@ -401,7 +519,7 @@ class GraphService:
             plan_cache=entry.plan_cache,
             worker_pools=entry.worker_pools)
 
-    def _execute(self, request, entry):
+    def _execute(self, request, entry, deadline=None, timeout_ms=None):
         with self._lock:
             self._queued -= 1
             self._in_flight += 1
@@ -409,14 +527,34 @@ class GraphService:
                 self.peak_in_flight = self._in_flight
         exclusive = request.faults is not None
         failed = False
+        timed_out = False
         wall_start = _time.perf_counter()
+        snapshot = None
         try:
+            if deadline is not None and _time.perf_counter() > deadline:
+                # Queued past the whole budget; fail before doing work.
+                timed_out = True
+                elapsed = (_time.perf_counter()
+                           - (deadline - timeout_ms / 1000.0))
+                raise DeadlineError(
+                    "query spent its whole %.0f ms budget queued "
+                    "(%.1f ms elapsed)" % (timeout_ms, elapsed * 1000.0),
+                    timeout_ms=timeout_ms, elapsed_seconds=elapsed,
+                    rounds_completed=0)
+            # Pin the topology version for the whole run: concurrent
+            # update batches commit new versions without disturbing this
+            # query's view, and the pin keeps the version's state (and
+            # retired base, if compaction swapped one out mid-run) from
+            # being reclaimed until the query releases it.
+            if not exclusive and hasattr(entry.db, "pin"):
+                snapshot = entry.db.pin()
+            view = snapshot if snapshot is not None else entry.db
             start = request.params.get("start")
             start = (int(start) if start is not None
-                     else int(np.argmax(entry.db.out_degrees)))
+                     else int(np.argmax(view.out_degrees)))
             kernel = ALGORITHMS[request.algorithm][0](request.params,
                                                       start)
-            engine = self._build_engine(request, entry)
+            engine = self._build_engine(request, entry, db=view)
             # Fault plans attach process-global state (a corrupting
             # injector) to the shared database; run those alone so the
             # injected budget can never leak into a neighbour's reads.
@@ -426,24 +564,34 @@ class GraphService:
                 entry.gate.acquire_read()
             try:
                 result = engine.run(kernel, dataset_name=entry.name,
-                                    query_id=request.query_id)
+                                    query_id=request.query_id,
+                                    deadline=deadline,
+                                    timeout_ms=timeout_ms)
             finally:
                 if exclusive:
                     entry.gate.release_write()
                 else:
                     entry.gate.release_read()
             return result
+        except DeadlineError:
+            failed = True
+            timed_out = True
+            raise
         except BaseException:
             failed = True
             raise
         finally:
+            if snapshot is not None:
+                snapshot.release()
             wall = _time.perf_counter() - wall_start
             with self._lock:
                 self._in_flight -= 1
                 entry.queries += 1
                 if failed:
                     self.failed += 1
-                else:
+                if timed_out:
+                    self.deadline_exceeded += 1
+                if not failed:
                     self.completed += 1
                 self._wall_latencies.append(wall)
                 if not self._in_flight and not self._queued:
@@ -509,6 +657,8 @@ class GraphService:
                 "failed": self.failed,
                 "rejected_admission": self.rejected_admission,
                 "rejected_shutdown": self.rejected_shutdown,
+                "deadline_exceeded": self.deadline_exceeded,
+                "updates_applied": self.updates_applied,
                 "peak_in_flight": self.peak_in_flight,
                 "peak_queued": self.peak_queued,
                 "latency_seconds": self._latency_quantiles(),

@@ -1,0 +1,470 @@
+"""Snapshot isolation (MVCC) tests: versions, pins, reclamation.
+
+The contract under test: an update batch commits a *new* topology
+version while every query keeps the version it pinned at start — same
+neighbors, same algorithm output, bit-identical simulated timings —
+and versions are reclaimed promptly once their last pin releases,
+never while pinned.  Around that core: the writer-preference gate (no
+writer starvation), per-query deadlines, and the service's live-update
+path end to end (in-process, HTTP, CLI).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.concurrency import ReadWriteGate
+from repro.core import BFSKernel, GTSEngine, PageRankKernel
+from repro.dynamic import (
+    DynamicGraphDatabase,
+    Snapshot,
+    UpdateBatch,
+    compact,
+    open_dynamic_database,
+)
+from repro.errors import DeadlineError, ServiceError, UpdateError
+from repro.format import build_database
+from repro.format.io import save_database
+from repro.graphgen import Graph, generate_rmat
+from repro.hardware.specs import scaled_workstation
+from repro.obs import collect_dynamic_metrics, collect_service_metrics
+from repro.service import GraphService, ServiceClient, make_server
+
+
+def _line_db(config, n=6):
+    vids = np.arange(n - 1)
+    graph = Graph.from_edges(n, vids, vids + 1)
+    return DynamicGraphDatabase(build_database(graph, config))
+
+
+def _rmat_dynamic(config):
+    graph = generate_rmat(8, edge_factor=8, seed=7)
+    return DynamicGraphDatabase(build_database(graph, config))
+
+
+class TestVersionChain:
+    def test_apply_bumps_version_and_reclaims_unpinned(self,
+                                                       small_config):
+        db = _line_db(small_config)
+        assert db.topology_version == 0
+        report = db.apply(UpdateBatch().insert_edge(0, 3))
+        assert report.topology_version == 1
+        assert db.topology_version == 1
+        # Nothing pinned version 0, so the commit reclaimed it.
+        stats = db.mvcc_stats()
+        assert stats["version_chain_length"] == 1
+        assert stats["reclaimed_versions"] == 1
+        assert stats["pinned_snapshots"] == 0
+
+    def test_pinned_snapshot_is_isolated_from_later_commits(
+            self, small_config):
+        db = _line_db(small_config)
+        snap = db.pin()
+        assert isinstance(snap, Snapshot)
+        assert snap.version == 0
+        before = list(snap.effective_neighbors(0))
+        db.apply(UpdateBatch().insert_edge(0, 4))
+        db.apply(UpdateBatch().delete_edge(1, 2))
+        # Head moved; the snapshot did not.
+        assert 4 in db.effective_neighbors(0)
+        assert list(snap.effective_neighbors(0)) == before
+        assert 2 in snap.effective_neighbors(1)
+        assert 2 not in db.effective_neighbors(1)
+        # The unpinned intermediate version (1) was reclaimed at the
+        # next commit; only the pinned v0 and the head survive.
+        assert db.mvcc_stats()["version_chain_length"] == 2
+        snap.release()
+        stats = db.mvcc_stats()
+        assert stats["version_chain_length"] == 1
+        assert stats["pinned_snapshots"] == 0
+
+    def test_page_at_version_and_reclaimed_version_raises(
+            self, small_config):
+        db = _line_db(small_config)
+        snap = db.pin()
+        db.apply(UpdateBatch().insert_edge(0, 5))
+        # Explicit version-addressed reads work while pinned.
+        page_v0 = db.page(0, version=0)
+        page_head = db.page(0)
+        assert page_v0.num_edges <= page_head.num_edges
+        snap.release()
+        with pytest.raises(UpdateError):
+            db.page(0, version=0)
+
+    def test_release_is_idempotent_and_context_managed(self,
+                                                       small_config):
+        db = _line_db(small_config)
+        with db.pin() as snap:
+            assert not snap.released
+        assert snap.released
+        snap.release()  # second release is a no-op
+        assert db.mvcc_stats()["pinned_snapshots"] == 0
+
+    def test_two_pins_same_version_share_state(self, small_config):
+        db = _line_db(small_config)
+        first, second = db.pin(), db.pin()
+        db.apply(UpdateBatch().insert_edge(0, 2))
+        first.release()
+        # The version survives until the *last* pin releases.
+        assert db.mvcc_stats()["version_chain_length"] == 2
+        assert list(second.effective_neighbors(0)) == [1]
+        second.release()
+        assert db.mvcc_stats()["version_chain_length"] == 1
+
+    def test_engine_runs_bit_identically_on_a_pinned_snapshot(
+            self, small_config, machine):
+        db = _rmat_dynamic(small_config)
+        reference = GTSEngine(db, machine).run(BFSKernel(0))
+        snap = db.pin()
+        batch = UpdateBatch()
+        for i in range(1, 20):
+            batch.insert_edge(0, i)
+        db.apply(batch)
+        # The snapshot's run reproduces the pre-update run exactly.
+        result = GTSEngine(snap, machine).run(BFSKernel(0))
+        assert result.snapshot_version == 0
+        assert result.elapsed_seconds == reference.elapsed_seconds
+        np.testing.assert_array_equal(result.values["level"],
+                                      reference.values["level"])
+        # And the head sees the update.
+        head = GTSEngine(db, machine).run(BFSKernel(0))
+        assert head.snapshot_version == 1
+        assert head.values["level"][19] == 1
+        snap.release()
+
+    def test_mvcc_metrics_reach_the_registry(self, small_config):
+        db = _line_db(small_config)
+        snap = db.pin()
+        db.apply(UpdateBatch().insert_edge(0, 3))
+        registry = collect_dynamic_metrics(db)
+        assert registry["mvcc.pinned_snapshots"].snapshot() == 1
+        assert registry["mvcc.oldest_pinned_lag"].snapshot() == 1
+        assert registry["mvcc.version_chain_length"].snapshot() == 2
+        snap.release()
+
+
+class TestCompactionWithPins:
+    def test_pinned_snapshot_survives_compaction(self, small_config,
+                                                 tmp_path):
+        vids = np.arange(5)
+        graph = Graph.from_edges(6, vids, vids + 1)
+        prefix = str(tmp_path / "g")
+        save_database(build_database(graph, small_config), prefix)
+        db = open_dynamic_database(prefix)
+        db.apply(UpdateBatch().insert_edge(0, 4))
+        snap = db.pin()
+        db.apply(UpdateBatch().delete_edge(0, 4).insert_edge(0, 5))
+        report = compact(db, save_prefix=prefix)
+        assert report.retained_versions == 1
+        # The pinned view still reads the pre-compaction topology from
+        # the retired base.
+        assert sorted(snap.effective_neighbors(0)) == [1, 4]
+        assert sorted(db.effective_neighbors(0)) == [1, 5]
+        snap.release()
+        assert db.mvcc_stats()["version_chain_length"] == 1
+        db.validate()
+
+    def test_quiescent_compaction_retains_nothing(self, small_config):
+        db = _line_db(small_config)
+        db.apply(UpdateBatch().insert_edge(0, 3))
+        report = compact(db)
+        assert report.retained_versions == 0
+        assert "0 pinned version(s) retained" in report.summary()
+
+
+class TestWriterPreference:
+    def test_writer_is_not_starved_by_a_reader_stream(self):
+        gate = ReadWriteGate()
+        stop = threading.Event()
+        errors = []
+
+        def reader_loop():
+            try:
+                while not stop.is_set():
+                    gate.acquire_read()
+                    time.sleep(0.0005)
+                    gate.release_read()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader_loop, daemon=True)
+                   for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        time.sleep(0.05)  # saturate the gate with overlapping readers
+        start = time.perf_counter()
+        gate.acquire_write()
+        waited = time.perf_counter() - start
+        gate.release_write()
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=5)
+        assert not errors
+        # Writer preference bounds the wait to roughly one reader
+        # critical section, not the length of the reader stream.
+        assert waited < 5.0
+        assert gate.exclusive_acquisitions == 1
+        assert gate.writer_wait_seconds >= 0.0
+        stats = gate.stats()
+        assert set(stats) == {"readers_active", "writers_waiting",
+                              "exclusive_acquisitions",
+                              "writer_wait_seconds"}
+
+    def test_waiting_writer_blocks_new_readers(self):
+        gate = ReadWriteGate()
+        gate.acquire_read()
+        writer_done = threading.Event()
+
+        def writer():
+            gate.acquire_write()
+            gate.release_write()
+            writer_done.set()
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        writer_thread.start()
+        deadline = time.perf_counter() + 5
+        while not gate.writers_waiting:
+            assert time.perf_counter() < deadline
+            time.sleep(0.001)
+        late_reader_in = threading.Event()
+
+        def late_reader():
+            gate.acquire_read()
+            late_reader_in.set()
+            gate.release_read()
+
+        reader_thread = threading.Thread(target=late_reader, daemon=True)
+        reader_thread.start()
+        # The late reader must queue behind the waiting writer.
+        assert not late_reader_in.wait(0.1)
+        gate.release_read()
+        assert writer_done.wait(5)
+        assert late_reader_in.wait(5)
+        writer_thread.join(timeout=5)
+        reader_thread.join(timeout=5)
+
+
+class TestDeadlines:
+    def test_engine_raises_typed_error_past_deadline(self, rmat_db,
+                                                     machine):
+        engine = GTSEngine(rmat_db, machine)
+        with pytest.raises(DeadlineError) as info:
+            engine.run(PageRankKernel(iterations=50),
+                       deadline=time.perf_counter() - 0.01,
+                       timeout_ms=10.0)
+        error = info.value
+        assert error.timeout_ms == 10.0
+        assert error.elapsed_seconds > 0
+        assert error.rounds_completed == 0
+
+    def test_no_deadline_means_no_check(self, rmat_db, machine):
+        result = GTSEngine(rmat_db, machine).run(BFSKernel(0))
+        assert result.snapshot_version == 0
+        assert result.to_dict()["snapshot_version"] == 0
+
+    def test_service_timeout_ms_maps_to_deadline_error(self,
+                                                       small_config):
+        service = GraphService(max_in_flight=2)
+        service.add_database("g", db=_rmat_dynamic(small_config))
+        with pytest.raises(DeadlineError):
+            service.query("g", "pagerank",
+                          options={"timeout_ms": 1e-4})
+        # Deadline failures are counted distinctly, and a sane budget
+        # still completes.
+        assert service.stats()["deadline_exceeded"] == 1
+        result = service.query("g", "bfs",
+                               options={"timeout_ms": 60000.0})
+        assert result.num_rounds > 0
+        service.drain()
+
+    def test_timeout_ms_is_validated(self, small_config):
+        service = GraphService(max_in_flight=1)
+        service.add_database("g", db=_line_db(small_config))
+        with pytest.raises(ServiceError):
+            service.query("g", "bfs", options={"timeout_ms": -5})
+        service.drain()
+
+
+class TestServiceUpdates:
+    def test_update_commits_new_version_without_blocking_pins(
+            self, small_config):
+        db = _rmat_dynamic(small_config)
+        service = GraphService(max_in_flight=4)
+        service.add_database("g", db=db)
+        before = service.query("g", "bfs", params={"start": 0})
+        assert before.snapshot_version == 0
+        batch = UpdateBatch()
+        for i in range(1, 30):
+            batch.insert_edge(0, i)
+        report = service.update("g", batch)
+        assert report["topology_version"] == 1
+        assert report["edges_inserted"] == 29
+        assert report["mvcc"]["version_chain_length"] == 1
+        after = service.query("g", "bfs", params={"start": 0})
+        assert after.snapshot_version == 1
+        assert after.values["level"][29] == 1
+        stats = service.stats()
+        assert stats["updates_applied"] == 1
+        assert stats["databases"]["g"]["updates"] == 1
+        assert stats["databases"]["g"]["mvcc"]["pinned_snapshots"] == 0
+        registry = collect_service_metrics(service)
+        assert registry["service.updates_applied"].snapshot() == 1
+        assert registry["service.db.g.updates"].snapshot() == 1
+        service.drain()
+
+    def test_update_accepts_dict_batches(self, small_config):
+        service = GraphService(max_in_flight=1)
+        service.add_database("g", db=_line_db(small_config))
+        payload = UpdateBatch().insert_edge(0, 3).to_dict()
+        report = service.update("g", payload)
+        assert report["edges_inserted"] == 1
+        service.drain()
+
+    def test_update_on_static_database_is_typed(self, small_config):
+        graph = generate_rmat(7, edge_factor=4, seed=1)
+        service = GraphService(max_in_flight=1)
+        service.add_database("g", db=build_database(graph,
+                                                    small_config))
+        with pytest.raises(ServiceError):
+            service.update("g", UpdateBatch().insert_edge(0, 1))
+        service.drain()
+
+    def test_update_compacts_past_threshold_and_persists(
+            self, small_config, tmp_path):
+        vids = np.arange(5)
+        graph = Graph.from_edges(6, vids, vids + 1)
+        prefix = str(tmp_path / "g")
+        save_database(build_database(graph, small_config), prefix)
+        service = GraphService(max_in_flight=2)
+        service.add_database("g", prefix=prefix)
+        report = service.update("g",
+                                UpdateBatch().insert_edge(0, 5),
+                                compact_threshold=1)
+        assert report["compacted"] is True
+        assert report["compaction"]["folded_batches"] == 1
+        service.remove_database("g")
+        service.drain()
+        # The fold was durable: a fresh open serves it with no WAL.
+        reopened = open_dynamic_database(prefix)
+        assert 5 in reopened.effective_neighbors(0)
+        assert reopened.applied_batches == 0
+
+    def test_queries_pinned_mid_update_stay_consistent(self,
+                                                       small_config):
+        """Readers racing a writer each observe one committed version."""
+        db = _rmat_dynamic(small_config)
+        service = GraphService(max_in_flight=4)
+        service.add_database("g", db=db)
+        machine = scaled_workstation(num_gpus=2, num_ssds=2)
+        # Reference results per version, computed serially up front.
+        snap0 = db.pin()
+        batch = UpdateBatch()
+        for i in range(1, 40):
+            batch.insert_edge(0, i)
+        results, errors = [], []
+
+        def reader():
+            try:
+                for _ in range(4):
+                    results.append(service.query(
+                        "g", "bfs", params={"start": 0}))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        service.update("g", batch)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        reference = {
+            0: GTSEngine(snap0, machine).run(BFSKernel(0)),
+            1: GTSEngine(db, machine).run(BFSKernel(0)),
+        }
+        snap0.release()
+        seen = set()
+        for result in results:
+            version = result.snapshot_version
+            seen.add(version)
+            expected = reference[version]
+            assert result.elapsed_seconds == expected.elapsed_seconds
+            np.testing.assert_array_equal(
+                result.values["level"], expected.values["level"])
+        assert seen <= {0, 1}
+        service.drain()
+
+
+class TestLiveHTTP:
+    @pytest.fixture()
+    def server(self, small_config):
+        service = GraphService(max_in_flight=4)
+        service.add_database("g", db=_rmat_dynamic(small_config))
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        service.drain()
+
+    def test_update_endpoint_commits_and_queries_see_it(self, server):
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % server.server_address[1])
+        batch = UpdateBatch()
+        for i in range(1, 25):
+            batch.insert_edge(0, i)
+        report = client.update("g", batch)
+        assert report["topology_version"] == 1
+        assert report["edges_inserted"] == 24
+        result = client.query("g", "bfs", params={"start": 0},
+                              include_values=True)
+        assert result["snapshot_version"] == 1
+        assert result["values"]["level"][24] == 1
+        stats = client.stats()
+        assert stats["updates_applied"] == 1
+        assert "mvcc" in stats["databases"]["g"]
+
+    def test_update_endpoint_validates_payload(self, server):
+        client = ServiceClient(
+            "http://127.0.0.1:%d" % server.server_address[1])
+        with pytest.raises(ServiceError):
+            client.update("missing", {"ops": []})
+        with pytest.raises(ServiceError):
+            client._request("/update", {"database": "g"})
+        with pytest.raises(ServiceError):
+            client._request("/update", {"database": "g",
+                                        "batch": {"ops": []},
+                                        "bogus": 1})
+
+    def test_timeout_maps_to_504_and_cli_exit_4(self, server, capsys):
+        url = "http://127.0.0.1:%d" % server.server_address[1]
+        client = ServiceClient(url)
+        with pytest.raises(DeadlineError) as info:
+            client.query("g", "pagerank",
+                         options={"timeout_ms": 1e-4})
+        assert info.value.timeout_ms == 1e-4
+        assert info.value.elapsed_seconds > 0
+        code = cli_main(["query", "--url", url, "--database", "g",
+                         "--algorithm", "pagerank",
+                         "--timeout-ms", "0.0001"])
+        assert code == 4
+        assert "deadline exceeded" in capsys.readouterr().err
+
+    def test_cli_update_service_mode(self, server, tmp_path, capsys):
+        url = "http://127.0.0.1:%d" % server.server_address[1]
+        batch_file = tmp_path / "batch.txt"
+        batch_file.write_text("add 0 3\nadd 0 5\n")
+        code = cli_main(["update", "--service", url, "--database", "g",
+                         "--batch", str(batch_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology v" in out and "mvcc" in out
+        # Exactly one of --db / --service, and --database is required.
+        assert cli_main(["update", "--batch", str(batch_file)]) == 1
+        assert cli_main(["update", "--service", url, "--batch",
+                         str(batch_file)]) == 1
