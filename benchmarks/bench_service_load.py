@@ -29,6 +29,13 @@ service must reject the overflow with typed ``AdmissionError`` while
 completing everything it admitted; and in full mode the top cell must
 sustain at least 64 concurrent queries.
 
+A fifth gate prices the request telemetry
+(:mod:`repro.obs.telemetry`): the same mixed cell runs bare and
+instrumented, interleaved ``--telemetry-repeats`` times, and the
+best-of-N instrumented p95 must stay within 1.05x of the bare one (a
+2 ms absolute floor absorbs clock granularity at quick scale), with
+every instrumented result bit-identical to its bare twin.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service_load.py          # full
@@ -97,11 +104,12 @@ def make_queries(workload, num_queries, num_vertices, seed):
 
 
 def run_cell(prefix, queries, concurrency, pool_pages,
-             shared_cache_pages=None):
+             shared_cache_pages=None, telemetry=None):
     """One matrix cell: fresh service, all queries, stats snapshot."""
     service = GraphService(max_in_flight=concurrency,
                            max_queue=len(queries),
-                           shared_cache_pages=shared_cache_pages)
+                           shared_cache_pages=shared_cache_pages,
+                           telemetry=telemetry)
     service.add_database("g", prefix=prefix, pool_pages=pool_pages)
     wall_start = time.perf_counter()
     futures = [service.submit(dict(q, database="g")) for q in queries]
@@ -150,6 +158,44 @@ def check_equivalence(serial, concurrent):
     return not problems
 
 
+def telemetry_overhead(prefix, queries, concurrency, pool_pages,
+                       repeats=3):
+    """Price the request telemetry: bare vs instrumented, interleaved.
+
+    Runs the pair ``repeats`` times back to back (interleaving sheds
+    slow drift — thermal, page cache — evenly across both arms) and
+    compares best-of-N p95s, the stablest host-latency statistic this
+    side of a dedicated runner.  The instrumented arm uses a
+    production-shaped config: head-sampling every 8th request, the
+    default 250 ms slow threshold, no ring directory (ring appends
+    only fire on slow/error requests anyway).
+    """
+    from repro.obs.telemetry import TelemetryConfig
+    config = {"slow_ms": 250.0, "sample_every": 8}
+    off_p95s, on_p95s = [], []
+    off_results = on_results = None
+    for _ in range(repeats):
+        cell_off, off_results = run_cell(prefix, queries, concurrency,
+                                         pool_pages)
+        cell_on, on_results = run_cell(
+            prefix, queries, concurrency, pool_pages,
+            telemetry=TelemetryConfig(**config))
+        off_p95s.append(cell_off["p95_seconds"])
+        on_p95s.append(cell_on["p95_seconds"])
+    best_off, best_on = min(off_p95s), min(on_p95s)
+    return {
+        "concurrency": concurrency,
+        "queries": len(queries),
+        "repeats": repeats,
+        "config": config,
+        "off_p95_seconds": best_off,
+        "on_p95_seconds": best_on,
+        "overhead_p95": round(best_on / best_off, 4) if best_off > 0
+        else 1.0,
+        "bit_identical": check_equivalence(off_results, on_results),
+    }
+
+
 def saturation_probe(prefix, pool_pages):
     """Over-subscribe a tiny service; overflow must reject typed."""
     service = GraphService(max_in_flight=2, max_queue=2)
@@ -192,6 +238,9 @@ def main(argv=None):
                         help="append a schema-versioned record to this "
                              "benchmark-history log (see repro.obs."
                              "history); '' disables the append")
+    parser.add_argument("--telemetry-repeats", type=int, default=3,
+                        help="interleaved bare/instrumented pairs for "
+                             "the telemetry overhead gate (default 3)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: scale 9 only, concurrency 1,8, "
                              "12 queries per cell")
@@ -295,6 +344,31 @@ def main(argv=None):
         if not probe["rejected"] or (probe["completed"]
                                      != probe["admitted"]):
             print("FAIL: saturation probe %r" % probe, file=sys.stderr)
+            ok = False
+
+        # Gate 5: telemetry is pay-for-use.  Best-of-N instrumented
+        # p95 within 1.05x of bare (a 2 ms absolute floor absorbs
+        # clock granularity on quick-scale cells), results identical.
+        tel_queries = make_queries("mixed", args.queries,
+                                   base_info["num_vertices"], args.seed)
+        tel = telemetry_overhead(base_prefix, tel_queries, min(top, 8),
+                                 args.pool_pages,
+                                 repeats=args.telemetry_repeats)
+        report["telemetry"] = tel
+        print("  telemetry overhead: p95 %.4fs bare -> %.4fs "
+              "instrumented (%.2fx)"
+              % (tel["off_p95_seconds"], tel["on_p95_seconds"],
+                 tel["overhead_p95"]))
+        within_budget = (
+            tel["overhead_p95"] <= 1.05
+            or tel["on_p95_seconds"] - tel["off_p95_seconds"] <= 0.002)
+        if not within_budget:
+            print("FAIL: telemetry p95 overhead %.3fx above 1.05x "
+                  "budget" % tel["overhead_p95"], file=sys.stderr)
+            ok = False
+        if not tel["bit_identical"]:
+            print("FAIL: telemetry changed query results",
+                  file=sys.stderr)
             ok = False
 
         mixed_cells = [(c, report["matrix"]["mixed.c%d" % c])

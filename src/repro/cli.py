@@ -347,6 +347,29 @@ def build_parser():
     history.add_argument("--json", action="store_true",
                          help="print records as a JSON list")
 
+    requests = obs_sub.add_parser(
+        "requests",
+        help="tail / filter / summarize a service slow-query ring")
+    requests.add_argument("ring", metavar="RING_DIR",
+                          help="slow-query ring directory "
+                               "(serve --telemetry-ring)")
+    requests.add_argument("--tail", type=int, default=None, metavar="N",
+                          help="show only the newest N records")
+    requests.add_argument("--status", default=None,
+                          choices=("ok", "error", "deadline"),
+                          help="only records with this outcome")
+    requests.add_argument("--database", default=None,
+                          help="only records for this database")
+    requests.add_argument("--slower-than", type=float, default=None,
+                          metavar="MS",
+                          help="only records with wall_ms >= MS")
+    requests.add_argument("--summarize", action="store_true",
+                          help="print an aggregate summary instead of "
+                               "per-request lines")
+    requests.add_argument("--json", action="store_true",
+                          help="print full records (or the summary) "
+                               "as JSON")
+
     serve = commands.add_parser(
         "serve",
         help="run the multi-tenant query service over HTTP/JSON")
@@ -387,6 +410,30 @@ def build_parser():
     serve.add_argument("--stats-out", default=None, metavar="PATH",
                        help="write final service metrics JSON on "
                             "shutdown ('obs compare' compatible)")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="enable request telemetry: lifecycle "
+                            "spans, rolling-window metrics on "
+                            "/metrics, structured request logging")
+    serve.add_argument("--slow-ms", type=float, default=250.0,
+                       metavar="MS",
+                       help="tail-capture threshold: requests slower "
+                            "than this (or erroring) keep their span "
+                            "tree in the slow-query ring")
+    serve.add_argument("--sample-every", type=int, default=0,
+                       metavar="N",
+                       help="head-sample every Nth request with a "
+                            "full engine trace attached to its "
+                            "tail-capture record (0 disables)")
+    serve.add_argument("--telemetry-ring", default=None,
+                       metavar="DIR",
+                       help="slow-query ring directory (inspect with "
+                            "'obs requests'); implies --telemetry")
+    serve.add_argument("--ring-capacity", type=int, default=64,
+                       help="slow-query ring size bound")
+    serve.add_argument("--telemetry-log", default=None, metavar="PATH",
+                       help="append structured JSON request log lines "
+                            "here ('-' for stderr); implies "
+                            "--telemetry")
 
     query = commands.add_parser(
         "query", help="send one query to a running serve instance")
@@ -424,6 +471,10 @@ def build_parser():
     query.add_argument("--timeout", type=float, default=60.0,
                        help="HTTP timeout in seconds (covers the "
                             "admission wait)")
+    query.add_argument("--retries", type=int, default=0,
+                       help="retry HTTP 429 admission rejections up "
+                            "to N times, honouring Retry-After with "
+                            "capped backoff (503 is never retried)")
     query.add_argument("--timeout-ms", type=float, default=None,
                        help="per-query deadline in milliseconds "
                             "(queue wait included); the server answers "
@@ -832,11 +883,71 @@ def _command_obs_history(args):
     return 0
 
 
+def _command_obs_requests(args):
+    from repro.obs.telemetry import load_ring, summarize_requests
+
+    records = load_ring(args.ring)
+    if args.status is not None:
+        records = [r for r in records if r.get("status") == args.status]
+    if args.database is not None:
+        records = [r for r in records
+                   if r.get("database") == args.database]
+    if args.slower_than is not None:
+        records = [r for r in records
+                   if (r.get("wall_ms") or 0.0) >= args.slower_than]
+    if args.tail is not None:
+        records = records[-args.tail:]
+    if args.summarize:
+        summary = summarize_requests(records)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print("%d captured request(s)" % summary["requests"])
+        for key in ("by_status", "by_error_type", "by_database"):
+            if summary[key]:
+                print("  %s: %s" % (key[3:], ", ".join(
+                    "%s=%d" % (name, count)
+                    for name, count in sorted(summary[key].items()))))
+        if summary["wall_ms"]:
+            wall = summary["wall_ms"]
+            print("  wall ms: min %.1f  p50 %.1f  p95 %.1f  max %.1f"
+                  % (wall["min"], wall["p50"], wall["p95"],
+                     wall["max"]))
+        for name, mean in sorted(summary["phase_mean_ms"].items()):
+            print("  phase %-14s mean %10.3f ms" % (name, mean))
+        return 0
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print("no captured requests match")
+        return 0
+    for record in records:
+        phases = {child["name"]: child["duration_ms"]
+                  for child in (record.get("span") or {}).get(
+                      "children") or []}
+        detail = "  ".join("%s=%.1f" % (name, phases[name])
+                           for name in ("queue_wait", "gate_acquire",
+                                        "engine", "serialize")
+                           if name in phases)
+        wall = record.get("wall_ms")
+        print("%-12s %-10s %-9s %9s ms  %s%s"
+              % (record.get("query_id"), record.get("database"),
+                 record.get("status"),
+                 "%.1f" % wall if wall is not None else "-", detail,
+                 "  [sampled]" if record.get("sampled") else ""))
+        if record.get("error_type"):
+            print("             %s: %s"
+                  % (record["error_type"], record.get("error")))
+    return 0
+
+
 def _command_obs(args):
     handlers = {
         "analyze": _command_obs_analyze,
         "compare": _command_obs_compare,
         "history": _command_obs_history,
+        "requests": _command_obs_requests,
     }
     return handlers[args.obs_command](args)
 
@@ -850,9 +961,33 @@ def _command_serve(args):
         raise ConfigurationError(
             "serve needs at least one --db NAME=PREFIX or --dataset "
             "NAME")
+    telemetry = None
+    log_handle = None
+    if args.telemetry or args.telemetry_ring or args.telemetry_log:
+        from repro.obs.telemetry import TelemetryConfig
+        log_stream = None
+        if args.telemetry_log == "-":
+            log_stream = sys.stderr
+        elif args.telemetry_log:
+            log_handle = open(args.telemetry_log, "a")
+            log_stream = log_handle
+        telemetry = TelemetryConfig(
+            slow_ms=args.slow_ms,
+            sample_every=args.sample_every,
+            ring_dir=args.telemetry_ring,
+            ring_capacity=args.ring_capacity,
+            log_stream=log_stream)
     service = GraphService(max_in_flight=args.max_in_flight,
                            max_queue=args.max_queue,
-                           shared_cache_pages=args.shared_cache_pages)
+                           shared_cache_pages=args.shared_cache_pages,
+                           telemetry=telemetry)
+    if telemetry is not None:
+        print("telemetry on: slow-ms %.0f, sample-every %d%s%s"
+              % (args.slow_ms, args.sample_every,
+                 ", ring %s" % args.telemetry_ring
+                 if args.telemetry_ring else "",
+                 ", log %s" % args.telemetry_log
+                 if args.telemetry_log else ""), file=sys.stderr)
     for item in args.db:
         name, sep, prefix = item.partition("=")
         if not sep or not name or not prefix:
@@ -901,6 +1036,8 @@ def _command_serve(args):
           % (stats["completed"], stats["failed"],
              stats["rejected_admission"] + stats["rejected_shutdown"]),
           file=sys.stderr)
+    if log_handle is not None:
+        log_handle.close()
     return 0
 
 
@@ -908,7 +1045,8 @@ def _command_query(args):
     from repro.errors import (AdmissionError, DeadlineError,
                               ShutdownError)
     from repro.service import ServiceClient
-    client = ServiceClient(args.url, timeout=args.timeout)
+    client = ServiceClient(args.url, timeout=args.timeout,
+                           retries=args.retries)
     params = {"iterations": args.iterations, "k": args.k}
     if args.start is not None:
         params["start"] = args.start

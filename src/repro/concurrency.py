@@ -18,7 +18,9 @@ service's observability wants:
   integer comparison, and ``contended`` directly measures how often
   threads actually queued on the shared structure.
 * a **total-acquisition counter**, so a contention *rate* can be
-  reported (``contended / acquisitions``).
+  reported (``contended / acquisitions``), and a cumulative
+  ``wait_seconds`` clocked only on the contended path — the fast path
+  never reads the host clock.
 
 Both counters are updated while the lock is held, so they are exact.
 
@@ -29,7 +31,10 @@ gate, writers exclude everyone.  The gate is **writer-preferring**: once
 a writer is waiting, new readers queue behind it, so a steady reader
 stream can delay a writer by at most the readers already inside the
 gate when it arrived (no starvation).  ``writers_waiting`` and the
-cumulative ``writer_wait_seconds`` counter make the wait observable.
+cumulative ``writer_wait_seconds`` / ``reader_wait_seconds`` counters
+make both sides' waits observable, and both acquire methods return the
+seconds the caller actually blocked so the service can attribute gate
+time to an individual request's ``gate_acquire`` span.
 """
 
 import threading
@@ -48,23 +53,33 @@ class InstrumentedLock:
         lock.acquisitions   # total acquires
     """
 
-    __slots__ = ("_lock", "contended", "acquisitions")
+    __slots__ = ("_lock", "contended", "acquisitions", "wait_seconds")
 
     def __init__(self):
         self._lock = threading.Lock()
         self.contended = 0
         self.acquisitions = 0
+        #: Total host seconds spent blocked on contended acquires.
+        self.wait_seconds = 0.0
 
     def acquire(self):
-        """Acquire, counting whether the fast (uncontended) path won."""
-        waited = False
+        """Acquire, counting whether the fast (uncontended) path won.
+
+        Returns the seconds spent blocked (0.0 on the fast path, which
+        performs no clock read at all — pay-for-use, like the gate's
+        reader path).
+        """
+        waited = None
         if not self._lock.acquire(False):
-            waited = True
+            start = time.perf_counter()
             self._lock.acquire()
+            waited = time.perf_counter() - start
         # Counters are mutated under the lock, so they are exact.
         self.acquisitions += 1
-        if waited:
+        if waited is not None:
             self.contended += 1
+            self.wait_seconds += waited
+        return waited or 0.0
 
     def release(self):
         self._lock.release()
@@ -87,7 +102,8 @@ class InstrumentedLock:
         """JSON-ready counter snapshot."""
         return {"acquisitions": self.acquisitions,
                 "contended": self.contended,
-                "contention_rate": self.contention_rate()}
+                "contention_rate": self.contention_rate(),
+                "wait_seconds": self.wait_seconds}
 
 
 class ReadWriteGate:
@@ -115,6 +131,10 @@ class ReadWriteGate:
         self.exclusive_acquisitions = 0
         #: Total host seconds writers spent waiting to acquire.
         self.writer_wait_seconds = 0.0
+        #: Reader acquisitions that found the gate blocked.
+        self.reader_waits = 0
+        #: Total host seconds those blocked readers spent waiting.
+        self.reader_wait_seconds = 0.0
 
     @property
     def writers_waiting(self):
@@ -122,10 +142,24 @@ class ReadWriteGate:
         return self._writers_waiting
 
     def acquire_read(self):
+        """Enter as a reader; returns the seconds spent waiting.
+
+        The uncontended path (no writer holding or queued) performs no
+        clock read — wait accounting is pay-for-use, paid only by
+        readers that actually block behind a writer.
+        """
         with self._cond:
+            if not (self._writer or self._writers_waiting):
+                self._readers += 1
+                return 0.0
+            start = time.perf_counter()
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            waited = time.perf_counter() - start
+            self.reader_waits += 1
+            self.reader_wait_seconds += waited
+            return waited
 
     def release_read(self):
         with self._cond:
@@ -134,6 +168,7 @@ class ReadWriteGate:
                 self._cond.notify_all()
 
     def acquire_write(self):
+        """Enter exclusively; returns the seconds spent waiting."""
         start = time.perf_counter()
         with self._cond:
             self._writers_waiting += 1
@@ -146,7 +181,9 @@ class ReadWriteGate:
             finally:
                 self._writers_waiting -= 1
             self.exclusive_acquisitions += 1
-            self.writer_wait_seconds += time.perf_counter() - start
+            waited = time.perf_counter() - start
+            self.writer_wait_seconds += waited
+            return waited
 
     def release_write(self):
         with self._cond:
@@ -161,4 +198,6 @@ class ReadWriteGate:
                 "writers_waiting": self._writers_waiting,
                 "exclusive_acquisitions": self.exclusive_acquisitions,
                 "writer_wait_seconds": self.writer_wait_seconds,
+                "reader_waits": self.reader_waits,
+                "reader_wait_seconds": self.reader_wait_seconds,
             }

@@ -402,7 +402,7 @@ class GTSEngine:
     # The run loop (Algorithm 1)
     # ------------------------------------------------------------------
     def run(self, kernel, dataset_name=None, query_id=None,
-            deadline=None, timeout_ms=None):
+            deadline=None, timeout_ms=None, round_observer=None):
         """Execute ``kernel`` over the database; returns a
         :class:`~repro.core.result.RunResult` with the algorithm output
         and the simulated performance counters.
@@ -427,6 +427,12 @@ class GTSEngine:
         run, so a timed-out query releases its gate slot and snapshot
         pin promptly.  ``timeout_ms`` only annotates that error with
         the caller's configured budget.
+
+        ``round_observer`` (service telemetry) is called with the
+        1-based round index after each completed round; ``None`` (the
+        default) costs the loop one pointer comparison and no host
+        clock reads — the same pay-for-use contract as
+        ``host_profile``.
         """
         injector = None
         attached = []
@@ -468,7 +474,8 @@ class GTSEngine:
         try:
             return self._run(kernel, dataset_name, injector, hp,
                              owns_profiler, query_id=query_id,
-                             deadline=deadline, timeout_ms=timeout_ms)
+                             deadline=deadline, timeout_ms=timeout_ms,
+                             round_observer=round_observer)
         finally:
             for candidate in attached:
                 candidate.detach_fault_injector()
@@ -516,7 +523,7 @@ class GTSEngine:
 
     def _run(self, kernel, dataset_name, injector, hp=None,
              owns_profiler=False, query_id=None, deadline=None,
-             timeout_ms=None):
+             timeout_ms=None, round_observer=None):
         wall_start = _time.perf_counter()
         db = self.db
         if hp is not None:
@@ -824,6 +831,11 @@ class GTSEngine:
                     bytes=stats.bytes_streamed)
             rounds.append(stats)
             round_index += 1
+            # Service telemetry's per-round marks.  Disabled runs pay
+            # one `is None` branch here and zero clock reads — the
+            # observer, not the engine, owns the host clock.
+            if round_observer is not None:
+                round_observer(round_index)
             if hp is not None:
                 hp.pop()  # round
 

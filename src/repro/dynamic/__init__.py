@@ -15,6 +15,12 @@ in the order a mutation flows through them:
   with the original builder;
 * :mod:`repro.dynamic.incremental` — restreaming only dirtied pages
   after insert-only batches via the engine's ``nextPIDSet`` path.
+
+Recovery-time events (stale pre-compaction log discarded, torn tail
+repaired) are reported through the ``repro.dynamic`` structured logger
+(:func:`repro.obs.telemetry.get_logger`) — silent until the process
+installs a sink via :func:`repro.obs.telemetry.configure_logging`, so
+library code never writes ad hoc to stderr.
 """
 
 from repro.dynamic.batch import UpdateBatch, parse_batch_file

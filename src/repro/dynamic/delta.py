@@ -1095,7 +1095,18 @@ def open_dynamic_database(prefix, pool_pages=None, fsync=True,
                         epoch=base_epoch)
     db = DynamicGraphDatabase(base, wal=wal, recorder=recorder)
     db._owns_base = True
+    # Recovery outcomes go through the structured logger (silent until
+    # repro.obs.telemetry.configure_logging installs a sink): library
+    # code must never write ad-hoc lines to stderr, but a stale-log
+    # discard or a torn-tail repair is exactly what an operator wants
+    # in the log pipeline after an unclean shutdown.
+    from repro.obs.telemetry import get_logger
+    log = get_logger("repro.dynamic")
     if wal.epoch < base_epoch:
+        # Pre-compaction leftover; its batches are already folded into
+        # the base pages.
+        log.log("wal_stale_discarded", prefix=prefix,
+                log_epoch=wal.epoch, base_epoch=base_epoch)
         wal.reset(epoch=base_epoch)
     elif wal.epoch > base_epoch:
         raise WALError(
@@ -1103,6 +1114,11 @@ def open_dynamic_database(prefix, pool_pages=None, fsync=True,
             "base files do not match this log (compacted to a "
             "different prefix?)" % (prefix, wal.epoch, base_epoch))
     else:
-        for batch in wal.replay(repair=True):
+        report = wal.replay(repair=True)
+        if report.truncated:
+            log.log("wal_torn_tail_repaired", prefix=prefix,
+                    torn_bytes=report.torn_bytes,
+                    batches_recovered=report.num_batches)
+        for batch in report:
             db.apply(batch, log=False)
     return db

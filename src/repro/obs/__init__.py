@@ -29,9 +29,15 @@ Three layers over one event stream:
   the *simulated* machine).  Exports collapsed-stack flamegraphs and
   ``host/*`` lanes merged into the Chrome trace.
 
+* :mod:`repro.obs.telemetry` — *service-scale* request telemetry:
+  per-request lifecycle span trees correlated by ``query_id``,
+  structured JSON logging, rolling-window (1m/5m) latency/throughput
+  histograms, the bounded slow-query ring with head-sampling and
+  tail-capture, and the Prometheus ``/metrics`` family builders.
+
 Observability is pay-for-use: with ``tracing=False`` nothing is
 recorded and the dispatch hot path takes no measurable overhead; the
-same holds for ``host_profile=False``.
+same holds for ``host_profile=False`` and an untelemetered service.
 """
 
 from repro.obs.analyze import (
@@ -80,11 +86,14 @@ from repro.obs.events import (
 )
 from repro.obs.exporters import (
     MICROSECONDS,
+    PROMETHEUS_CONTENT_TYPE,
     ascii_timeline,
     chrome_trace,
     load_chrome_trace,
     recorder_from_chrome_trace,
+    render_prometheus,
     validate_chrome_trace,
+    validate_prometheus_text,
     write_chrome_trace,
 )
 from repro.obs.host import (
@@ -114,6 +123,20 @@ from repro.obs.metrics import (
     collect_dynamic_metrics,
     collect_run_metrics,
     collect_service_metrics,
+)
+from repro.obs.telemetry import (
+    RequestTrace,
+    RollingWindow,
+    ServiceTelemetry,
+    SlowQueryRing,
+    StructuredLogger,
+    TelemetryConfig,
+    configure_logging,
+    get_logger,
+    load_ring,
+    render_service_metrics,
+    service_metric_families,
+    summarize_requests,
 )
 
 __all__ = [
@@ -186,4 +209,19 @@ __all__ = [
     "merge_host_lanes",
     "write_flamegraph",
     "write_host_profile",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "validate_prometheus_text",
+    "RequestTrace",
+    "RollingWindow",
+    "ServiceTelemetry",
+    "SlowQueryRing",
+    "StructuredLogger",
+    "TelemetryConfig",
+    "configure_logging",
+    "get_logger",
+    "load_ring",
+    "render_service_metrics",
+    "service_metric_families",
+    "summarize_requests",
 ]

@@ -228,6 +228,200 @@ def ascii_timeline(recorder, t0=0.0, t1=None, width=72):
     return "\n".join(lines)
 
 
+#: Prometheus exposition content type (``GET /metrics``).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$")
+
+
+def _escape_label_value(value):
+    """Escape a label value per the exposition format: backslash,
+    double quote and newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value):
+    """Render a sample value: integers stay integral, floats use
+    ``repr`` (shortest round-trip) — byte-deterministic either way."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(families):
+    """Render metric families as Prometheus text exposition format.
+
+    ``families`` is an iterable of dicts with ``name``, ``type``
+    (``counter``/``gauge``), optional ``help``, and ``samples`` — a
+    list of ``(labels dict or None, value)`` pairs.  Families are
+    emitted sorted by name and samples sorted by their label items, so
+    the rendering is byte-deterministic given equal content regardless
+    of construction order.  Families without samples are skipped (an
+    absent series, not a zero).
+    """
+    lines = []
+    for family in sorted(families, key=lambda f: f["name"]):
+        name = family["name"]
+        if not _METRIC_NAME.match(name):
+            raise ConfigurationError(
+                "invalid Prometheus metric name %r" % (name,))
+        if family["type"] not in ("counter", "gauge"):
+            raise ConfigurationError(
+                "unsupported Prometheus metric type %r for %s"
+                % (family["type"], name))
+        samples = family.get("samples") or []
+        if not samples:
+            continue
+        if family.get("help"):
+            lines.append("# HELP %s %s"
+                         % (name, family["help"].replace("\\", "\\\\")
+                            .replace("\n", "\\n")))
+        lines.append("# TYPE %s %s" % (name, family["type"]))
+        rendered = []
+        for labels, value in samples:
+            items = sorted((labels or {}).items())
+            for label, _ in items:
+                if not _LABEL_NAME.match(label):
+                    raise ConfigurationError(
+                        "invalid Prometheus label name %r on %s"
+                        % (label, name))
+            if items:
+                body = ",".join('%s="%s"'
+                                % (label, _escape_label_value(value_))
+                                for label, value_ in items)
+                rendered.append(("%s{%s} %s"
+                                 % (name, body, _format_value(value)),
+                                 items))
+            else:
+                rendered.append(("%s %s" % (name, _format_value(value)),
+                                 items))
+        for line, _items in sorted(rendered, key=lambda r: r[1]):
+            lines.append(line)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _unescape_label_value(value):
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value):
+                raise ConfigurationError(
+                    "dangling escape in label value %r" % (value,))
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                raise ConfigurationError(
+                    "bad escape %r in label value %r" % (nxt, value))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body):
+    """Parse the ``{...}`` body of a sample line into a dict."""
+    labels = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq]
+        if not _LABEL_NAME.match(name):
+            raise ConfigurationError(
+                "invalid label name %r in %r" % (name, body))
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ConfigurationError(
+                "unquoted label value in %r" % (body,))
+        j = eq + 2
+        raw = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\":
+                raw.append(body[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ConfigurationError(
+                "unterminated label value in %r" % (body,))
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                raise ConfigurationError(
+                    "expected ',' between labels in %r" % (body,))
+            i += 1
+    return labels
+
+
+def validate_prometheus_text(text):
+    """Validate Prometheus exposition text; returns the parsed metrics.
+
+    Checks metric/label name grammar, that every sample follows a
+    ``# TYPE`` declaration for its family, that label values unescape
+    cleanly, and that values parse as floats.  Returns ``{family name:
+    {"type": ..., "samples": [(labels, value), ...]}}`` — the CI
+    service job uses this to assert counters are monotone across two
+    scrapes.  Raises :class:`~repro.errors.ConfigurationError` on any
+    malformation.
+    """
+    metrics = {}
+    types = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or not _METRIC_NAME.match(parts[2]) \
+                    or parts[3] not in ("counter", "gauge",
+                                        "histogram", "summary",
+                                        "untyped"):
+                raise ConfigurationError(
+                    "malformed TYPE line %d: %r" % (number, line))
+            if parts[2] in types:
+                raise ConfigurationError(
+                    "duplicate TYPE for %s (line %d)"
+                    % (parts[2], number))
+            types[parts[2]] = parts[3]
+            metrics[parts[2]] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ConfigurationError(
+                "malformed sample line %d: %r" % (number, line))
+        name, label_body, raw_value = match.groups()
+        if name not in types:
+            raise ConfigurationError(
+                "sample for %s before its TYPE line (line %d)"
+                % (name, number))
+        labels = _parse_labels(label_body) if label_body else {}
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ConfigurationError(
+                "non-numeric value %r on line %d" % (raw_value, number))
+        metrics[name]["samples"].append((labels, value))
+    return metrics
+
+
 def validate_chrome_trace(payload):
     """Schema-check a Chrome trace object; returns the event list.
 

@@ -448,6 +448,10 @@ def collect_service_metrics(stats, registry=None):
                          "cumulative time writers spent waiting for "
                          "the gate").inc(gate.get("writer_wait_seconds",
                                                   0.0))
+        registry.counter(prefix + ".gate_reader_wait_seconds",
+                         "cumulative time readers spent waiting for "
+                         "the gate").inc(gate.get("reader_wait_seconds",
+                                                  0.0))
         mvcc = db_stats.get("mvcc")
         if mvcc:
             registry.gauge(prefix + ".mvcc_pinned_snapshots").set(
@@ -464,4 +468,23 @@ def collect_service_metrics(stats, registry=None):
     registry.counter("service.updates_applied",
                      "live update batches committed via the service"
                      ).inc(stats.get("updates_applied", 0))
+    for label, window in sorted((stats.get("rolling") or {}).items()):
+        prefix = "service.window.%s" % label
+        registry.gauge(prefix + ".count",
+                       "requests inside the rolling window").set(
+            window.get("count", 0))
+        registry.gauge(prefix + ".throughput_qps").set(
+            window.get("throughput_qps", 0.0))
+        for quantile in ("p50", "p95", "p99"):
+            value = window.get(quantile)
+            if value is not None:
+                registry.gauge(
+                    "%s.%s_seconds" % (prefix, quantile),
+                    "rolling-window latency").set(value)
+    telemetry = stats.get("telemetry") or {}
+    if telemetry:
+        for key in ("requests", "sampled", "slow", "tail_captured",
+                    "rejections"):
+            registry.counter("service.telemetry.%s" % key).inc(
+                telemetry.get(key, 0))
     return registry

@@ -6,14 +6,22 @@ remote service handles the same :class:`~repro.errors.AdmissionError` /
 :class:`~repro.errors.ShutdownError` / :class:`~repro.errors.ServiceError`
 it would catch around an in-process :class:`GraphService`.  The CLI's
 ``query`` subcommand is a thin shell over this class.
+Admission rejections (HTTP 429) carry the server's ``Retry-After``
+header; with ``retries=`` the client honours it — bounded attempts,
+exponentially growing but capped backoff — because a 429 means "the
+queue is momentarily full", a transient the caller usually wants
+absorbed.  503 (draining) is **never** retried: the server announced it
+is going away, and hammering a draining service only delays its exit.
 """
 
 import json
+import time
 import urllib.error
 import urllib.request
 
 from repro.errors import (
     AdmissionError,
+    ConfigurationError,
     DeadlineError,
     ServiceError,
     ShutdownError,
@@ -25,12 +33,27 @@ class ServiceClient:
 
     ``base_url`` is e.g. ``http://127.0.0.1:8030``; ``timeout`` bounds
     each HTTP call in seconds (queries queue server-side, so allow for
-    the admission wait, not just the run).
+    the admission wait, not just the run).  ``retries`` (default 0:
+    fail fast, the old behaviour) bounds how many times a 429 admission
+    rejection is retried after sleeping ``min(backoff_cap,
+    retry_after * 2**attempt)`` seconds, where ``retry_after`` is the
+    server's ``Retry-After`` header (falling back to 1 second).
     """
 
-    def __init__(self, base_url, timeout=60.0):
+    def __init__(self, base_url, timeout=60.0, retries=0,
+                 backoff_cap=5.0):
+        if retries < 0:
+            raise ConfigurationError(
+                "retries must be >= 0, got %r" % (retries,))
+        if backoff_cap <= 0:
+            raise ConfigurationError(
+                "backoff_cap must be positive, got %r" % (backoff_cap,))
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_cap = backoff_cap
+        #: Injectable for tests (patched to skip real sleeping).
+        self._sleep = time.sleep
 
     # ------------------------------------------------------------------
     def _request(self, path, payload=None):
@@ -40,13 +63,25 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            self._raise_typed(error)
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data,
+                                             headers=headers)
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                if error.code == 429 and attempt < self.retries:
+                    try:
+                        retry_after = float(
+                            error.headers.get("Retry-After") or 1.0)
+                    except ValueError:
+                        retry_after = 1.0
+                    error.read()  # drain so keep-alive sockets reuse
+                    self._sleep(min(self.backoff_cap,
+                                    retry_after * 2 ** attempt))
+                    continue
+                self._raise_typed(error)
 
     @staticmethod
     def _raise_typed(error):

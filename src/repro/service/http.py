@@ -5,6 +5,10 @@ Endpoints:
 * ``GET /healthz`` — liveness: ``{"status": "ok", "draining": ...}``.
 * ``GET /stats`` — the service's full counter snapshot
   (:meth:`~repro.service.service.GraphService.stats`).
+* ``GET /metrics`` — the same snapshot rendered as Prometheus text
+  exposition format (version 0.0.4), including the rolling-window
+  series when the service runs with telemetry; byte-deterministic
+  given an unchanged snapshot, so scrapes diff cleanly.
 * ``POST /query`` — run one query; the JSON body is a
   :meth:`~repro.service.service.QueryRequest.from_dict` payload, the
   response a :meth:`~repro.core.result.RunResult.to_dict` (pass
@@ -28,6 +32,13 @@ body), 500 for anything unexpected.  The server is a
 :class:`~http.server.ThreadingHTTPServer`: each request gets its own
 thread, which then blocks on the service's admission-controlled pool —
 back-pressure comes from the service, not from the socket listener.
+
+With telemetry enabled, successful query responses carry an
+``X-Query-Id`` correlation header, the handler *defers* trace
+completion so the response-rendering time lands in the request's
+``serialize`` span, and 504 bodies include the ``query_id`` so a
+timed-out request can be matched to its tail-captured trace in the
+slow-query ring.
 """
 
 import json
@@ -78,6 +89,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                   "draining": service.draining})
         elif self.path == "/stats":
             self._send_json(200, service.stats())
+        elif self.path == "/metrics":
+            from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE
+            body = service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_json(404, {"error": "unknown path %r" % self.path})
 
@@ -98,13 +117,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         include_values = bool(payload.pop("include_values", False)) \
             if isinstance(payload, dict) else False
         service = self.server.service
+        tm = service.telemetry
+        trace = None
+        request = None
+        headers = None
         try:
             if self.path == "/update":
                 response = self._do_update(service, payload)
             else:
                 request = QueryRequest.from_dict(payload)
-                result = service.submit(request).result()
+                future = service.submit(request)
+                # Take over completion so the serialize span (measured
+                # around _send_json below) lands inside the trace.
+                if tm is not None:
+                    trace = tm.defer(request.query_id)
+                result = future.result()
                 response = result.to_dict(include_values=include_values)
+                if result.query_id is not None:
+                    headers = {"X-Query-Id": result.query_id}
         except AdmissionError as error:
             self._send_json(429, {
                 "error": str(error),
@@ -119,13 +149,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                   "type": "ShutdownError"})
         except DeadlineError as error:
             # 504: the query ran, but past its caller-supplied budget.
-            self._send_json(504, {
+            body = {
                 "error": str(error),
                 "type": "DeadlineError",
                 "timeout_ms": error.timeout_ms,
                 "elapsed_seconds": error.elapsed_seconds,
                 "rounds_completed": error.rounds_completed,
-            })
+            }
+            if request is not None and request.query_id is not None:
+                body["query_id"] = request.query_id
+            self._send_json(504, body)
         except ServiceError as error:
             self._send_json(400, {"error": str(error),
                                   "type": "ServiceError"})
@@ -136,7 +169,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(error),
                                   "type": type(error).__name__})
         else:
-            self._send_json(200, response)
+            if trace is not None:
+                start_ns = trace.now()
+                self._send_json(200, response, extra_headers=headers)
+                trace.add_phase("serialize", start_ns, trace.now())
+                trace = self._complete(tm, trace)
+                return
+            self._send_json(200, response, extra_headers=headers)
+        finally:
+            # Error paths (and the defensive case where _send_json
+            # itself raised) still finalize the deferred trace.
+            self._complete(tm, trace)
+
+    @staticmethod
+    def _complete(tm, trace):
+        """Finalize a deferred trace (idempotent); returns ``None``."""
+        if trace is not None:
+            tm.complete(trace)
+        return None
 
     @staticmethod
     def _do_update(service, payload):

@@ -244,10 +244,20 @@ class GraphService:
         Per-database :class:`~repro.core.cache.SharedPageCache`
         capacity; ``None`` (default) is unbounded, ``0`` disables
         caching but keeps the accounting (the benchmark baseline).
+    telemetry:
+        Request telemetry (:mod:`repro.obs.telemetry`): ``None``
+        (default) disables it entirely — the request path then
+        performs **no** telemetry clock reads at all (the test suite
+        proves this by counting) and results are bit-identical either
+        way.  ``True`` enables it with defaults; a
+        :class:`~repro.obs.telemetry.TelemetryConfig` or
+        :class:`~repro.obs.telemetry.ServiceTelemetry` configures
+        lifecycle spans, rolling windows, structured logging and the
+        slow-query ring.
     """
 
     def __init__(self, max_in_flight=8, max_queue=64,
-                 shared_cache_pages=None):
+                 shared_cache_pages=None, telemetry=None):
         if max_in_flight < 1:
             raise ConfigurationError(
                 "service needs at least one in-flight slot")
@@ -279,6 +289,24 @@ class GraphService:
         self.deadline_exceeded = 0
         self.updates_applied = 0
         self._wall_latencies = []
+        # Telemetry is imported lazily and only when requested, so an
+        # untelemetered service never loads (or clocks through) the
+        # telemetry module.
+        if telemetry is None or telemetry is False:
+            self.telemetry = None
+        else:
+            from repro.obs.telemetry import (ServiceTelemetry,
+                                             TelemetryConfig)
+            if isinstance(telemetry, ServiceTelemetry):
+                self.telemetry = telemetry
+            elif isinstance(telemetry, TelemetryConfig):
+                self.telemetry = ServiceTelemetry(telemetry)
+            elif telemetry is True:
+                self.telemetry = ServiceTelemetry()
+            else:
+                raise ConfigurationError(
+                    "telemetry must be None, True, a TelemetryConfig "
+                    "or a ServiceTelemetry, got %r" % (telemetry,))
 
     # ------------------------------------------------------------------
     # Database registry
@@ -360,29 +388,44 @@ class GraphService:
         # typed instead of occupying a queue slot.
         entry = self._entry(request.database)
         self._validate(request, entry)
+        tm = self.telemetry
+        admit_ns = tm.now() if tm is not None else None
+        rejection = None
         with self._lock:
             if self._draining:
                 self.rejected_shutdown += 1
-                raise ShutdownError(
+                rejection = ShutdownError(
                     "service is draining; query %r rejected"
                     % request.database)
-            if (self._queued + self._in_flight
+            elif (self._queued + self._in_flight
                     >= self.max_in_flight + self.max_queue):
                 self.rejected_admission += 1
-                raise AdmissionError(
+                rejection = AdmissionError(
                     "service at capacity (%d in flight, %d queued)"
                     % (self._in_flight, self._queued),
                     queue_depth=self._queued,
                     in_flight=self._in_flight,
                     max_in_flight=self.max_in_flight,
                     max_queue=self.max_queue)
-            self.admitted += 1
-            self._queued += 1
-            if self._queued > self.peak_queued:
-                self.peak_queued = self._queued
-            self._drained.clear()
-            if request.query_id is None:
-                request.query_id = "q%d" % next(self._query_ids)
+            else:
+                self.admitted += 1
+                self._queued += 1
+                if self._queued > self.peak_queued:
+                    self.peak_queued = self._queued
+                self._drained.clear()
+                if request.query_id is None:
+                    request.query_id = "q%d" % next(self._query_ids)
+        if rejection is not None:
+            # Raised outside the admission lock so the telemetry fan-out
+            # (counter + structured log line) never extends the lock's
+            # critical section.
+            if tm is not None:
+                tm.record_rejection(request, rejection)
+            raise rejection
+        trace = None
+        if tm is not None:
+            trace = tm.new_trace(request)
+            trace.add_phase("admission_wait", admit_ns, trace.submit_ns)
         # The deadline clock starts now — queue wait counts against the
         # caller's budget, so a query stuck behind a full pool times out
         # instead of running long after the client gave up.
@@ -390,7 +433,7 @@ class GraphService:
         deadline = (_time.perf_counter() + timeout_ms / 1000.0
                     if timeout_ms is not None else None)
         return self._executor.submit(self._execute, request, entry,
-                                     deadline, timeout_ms)
+                                     deadline, timeout_ms, trace)
 
     def query(self, database, algorithm, **kwargs):
         """Blocking convenience: submit and wait for the RunResult.
@@ -498,13 +541,14 @@ class GraphService:
                 "timeout_ms must be a positive number, got %r"
                 % (timeout_ms,))
 
-    def _build_engine(self, request, entry, db=None):
+    def _build_engine(self, request, entry, db=None, tracing=False):
         options = dict(ENGINE_OPTIONS)
         options.update(request.options)
         machine = scaled_workstation(num_gpus=options["num_gpus"],
                                      num_ssds=options["num_ssds"])
         return GTSEngine(
             entry.db if db is None else db, machine,
+            tracing=tracing,
             strategy=options["strategy"],
             num_streams=options["num_streams"],
             micro_technique=options["micro_technique"],
@@ -519,7 +563,12 @@ class GraphService:
             plan_cache=entry.plan_cache,
             worker_pools=entry.worker_pools)
 
-    def _execute(self, request, entry, deadline=None, timeout_ms=None):
+    def _execute(self, request, entry, deadline=None, timeout_ms=None,
+                 trace=None):
+        if trace is not None:
+            # A worker picked the request up: everything since submit
+            # was queueing.
+            trace.add_phase("queue_wait", trace.submit_ns, trace.now())
         with self._lock:
             self._queued -= 1
             self._in_flight += 1
@@ -547,38 +596,71 @@ class GraphService:
             # retired base, if compaction swapped one out mid-run) from
             # being reclaimed until the query releases it.
             if not exclusive and hasattr(entry.db, "pin"):
-                snapshot = entry.db.pin()
+                if trace is not None:
+                    pin_ns = trace.now()
+                    snapshot = entry.db.pin()
+                    trace.add_phase("snapshot_pin", pin_ns, trace.now())
+                    trace.snapshot_version = getattr(
+                        snapshot, "topology_version", None)
+                else:
+                    snapshot = entry.db.pin()
             view = snapshot if snapshot is not None else entry.db
             start = request.params.get("start")
             start = (int(start) if start is not None
                      else int(np.argmax(view.out_degrees)))
             kernel = ALGORITHMS[request.algorithm][0](request.params,
                                                       start)
-            engine = self._build_engine(request, entry, db=view)
+            engine = self._build_engine(
+                request, entry, db=view,
+                tracing=trace.sampled if trace is not None else False)
             # Fault plans attach process-global state (a corrupting
             # injector) to the shared database; run those alone so the
             # injected budget can never leak into a neighbour's reads.
+            gate_ns = trace.now() if trace is not None else None
             if exclusive:
-                entry.gate.acquire_write()
+                waited = entry.gate.acquire_write()
             else:
-                entry.gate.acquire_read()
+                waited = entry.gate.acquire_read()
+            if trace is not None:
+                trace.add_phase(
+                    "gate_acquire", gate_ns, trace.now(),
+                    mode="write" if exclusive else "read",
+                    waited_seconds=round(waited, 9))
+                engine_ns = trace.now()
             try:
-                result = engine.run(kernel, dataset_name=entry.name,
-                                    query_id=request.query_id,
-                                    deadline=deadline,
-                                    timeout_ms=timeout_ms)
+                result = engine.run(
+                    kernel, dataset_name=entry.name,
+                    query_id=request.query_id,
+                    deadline=deadline, timeout_ms=timeout_ms,
+                    round_observer=(trace.observe_round
+                                    if trace is not None else None))
             finally:
                 if exclusive:
                     entry.gate.release_write()
                 else:
                     entry.gate.release_read()
+                if trace is not None:
+                    trace.rounds = len(trace.round_marks)
+                    trace.add_phase("engine", engine_ns, trace.now(),
+                                    rounds=trace.rounds)
+            if trace is not None:
+                trace.set_status("ok")
+                trace.rounds = result.num_rounds
+                trace.simulated_seconds = result.elapsed_seconds
+                if trace.sampled and result.trace is not None:
+                    from repro.obs.exporters import chrome_trace
+                    trace.chrome = chrome_trace(result.trace)
             return result
-        except DeadlineError:
+        except DeadlineError as error:
             failed = True
             timed_out = True
+            if trace is not None:
+                trace.set_status("deadline", error)
             raise
-        except BaseException:
+        except BaseException as error:
             failed = True
+            if trace is not None:
+                trace.set_status("error", error)
             raise
         finally:
             if snapshot is not None:
@@ -596,6 +678,13 @@ class GraphService:
                 self._wall_latencies.append(wall)
                 if not self._in_flight and not self._queued:
                     self._drained.set()
+            # Completion (windows, log line, tail capture) stays out of
+            # the admission lock.  The HTTP layer may have *deferred*
+            # completion to append its serialize span first; complete()
+            # is idempotent, so the benign race where both sides call it
+            # resolves to whoever got there first.
+            if trace is not None and not trace.deferred:
+                self.telemetry.complete(trace)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -630,16 +719,31 @@ class GraphService:
     # Observability
     # ------------------------------------------------------------------
     def _latency_quantiles(self):
+        """Cumulative wall-latency quantiles, linearly interpolated.
+
+        Always returns the full shape: an idle service reports
+        ``{"count": 0, "p50": None, ...}`` (an explicit null block, not
+        a crash or an empty dict), a 1-sample history reports that
+        sample for every quantile, and a 2-sample history interpolates
+        between the two (p50 is their midpoint) — matching
+        :meth:`repro.obs.metrics.Histogram.snapshot` semantics instead
+        of the old nearest-rank pick.
+        """
         ordered = sorted(self._wall_latencies)
+        out = {"count": len(ordered)}
         if not ordered:
-            return {"p50": None, "p95": None, "p99": None}
+            out.update({"p50": None, "p95": None, "p99": None})
+            return out
 
         def q(fraction):
-            index = min(len(ordered) - 1,
-                        int(round(fraction * (len(ordered) - 1))))
-            return ordered[index]
+            position = fraction * (len(ordered) - 1)
+            lo = int(position)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = position - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
-        return {"p50": q(0.50), "p95": q(0.95), "p99": q(0.99)}
+        out.update({"p50": q(0.50), "p95": q(0.95), "p99": q(0.99)})
+        return out
 
     def stats(self):
         """JSON-ready service snapshot: admission state and counters,
@@ -664,8 +768,22 @@ class GraphService:
                 "latency_seconds": self._latency_quantiles(),
                 "admission_lock": self._lock.stats(),
             }
+        if self.telemetry is not None:
+            snapshot["rolling"] = self.telemetry.window_snapshot()
+            snapshot["telemetry"] = self.telemetry.stats()
         with self._db_lock:
             entries = list(self._databases.values())
         snapshot["databases"] = {entry.name: entry.stats()
                                  for entry in entries}
         return snapshot
+
+    def metrics_text(self):
+        """The Prometheus text exposition body (``GET /metrics``).
+
+        Works with telemetry disabled too — then only the cumulative
+        service/per-database series appear, without the rolling-window
+        families.  Byte-deterministic given an unchanged stats
+        snapshot.
+        """
+        from repro.obs.telemetry import render_service_metrics
+        return render_service_metrics(self.stats())

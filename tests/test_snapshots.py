@@ -211,7 +211,10 @@ class TestWriterPreference:
         stats = gate.stats()
         assert set(stats) == {"readers_active", "writers_waiting",
                               "exclusive_acquisitions",
-                              "writer_wait_seconds"}
+                              "writer_wait_seconds",
+                              "reader_waits", "reader_wait_seconds"}
+        # Readers queued behind the writer are the ones that clock.
+        assert stats["reader_wait_seconds"] >= 0.0
 
     def test_waiting_writer_blocks_new_readers(self):
         gate = ReadWriteGate()
